@@ -1,0 +1,41 @@
+"""Shared substrate for the accuracy-side benches (Figs. 3, 4, 5, 15).
+
+Pretraining the TinyLMM once per benchmark session keeps the accuracy
+benches fast; everything downstream deep-copies it.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+
+import numpy as np
+
+from repro.generation import pretrain_base
+from repro.nn import TinyLMMConfig
+
+CONFIG = TinyLMMConfig(max_patches=12)
+
+
+@functools.lru_cache(maxsize=1)
+def shared_base():
+    return pretrain_base(CONFIG, steps=150, seed=7)
+
+
+def fresh_base():
+    return copy.deepcopy(shared_base())
+
+
+def pad_patches(x: np.ndarray, patches: int = CONFIG.max_patches) -> np.ndarray:
+    if x.shape[1] == patches:
+        return x
+    if x.shape[1] > patches:
+        return x[:, :patches]
+    tail = np.repeat(x[:, -1:, :], patches - x.shape[1], axis=1)
+    return np.concatenate([x, tail], axis=1)
+
+
+def base_accuracy(model, domain) -> float:
+    return model.accuracy(
+        pad_patches(domain.test_x), domain.test_prompts(), domain.test_y
+    )

@@ -1,0 +1,70 @@
+"""Fig. 7 — the cost of one inference-mode switch.
+
+Paper scenario: 8 FCFS requests of 256 input tokens; slot 1 serves
+requests 1-3 merged, slot 2 serves the heterogeneous requests 4-7
+unmerged.  dLoRA's switch alone costs ~53 ms (64% of the merged slot's
+time) and delays the last request by ~165 ms; a <10 ms switch would save
+~45 ms of average response time.
+"""
+
+from _common import ms, reduction
+
+from repro.hardware import A100_80GB
+from repro.kernels import ATMMOperator, GemmCostModel
+from repro.models import QWEN_VL_7B, IterationCostModel, LoRAAdapterSpec
+from repro.runtime.modes import InferenceMode
+from repro.runtime.switcher import DLoRASwitcher, SwiftSwitcher
+
+M = InferenceMode
+
+
+def run_experiment():
+    cm = GemmCostModel(A100_80GB)
+    costs = IterationCostModel(QWEN_VL_7B, A100_80GB)
+    spec = LoRAAdapterSpec("lora-1", QWEN_VL_7B)
+    swift = SwiftSwitcher(QWEN_VL_7B, ATMMOperator(cm), num_projections=2)
+    dlora = DLoRASwitcher(QWEN_VL_7B, cm, num_projections=2)
+
+    merged_slot = costs.prefill_seconds([256, 256, 256])
+    out = {"merged_slot_3x256_ms": ms(merged_slot)}
+    for name, switcher in (("dlora", dlora), ("v-lora", swift)):
+        switch = switcher.switch_seconds(M.MERGED, M.UNMERGED, spec, None)
+        # The last request waits for slot 1 plus the switch before its
+        # own slot can begin.
+        last_request_wait = merged_slot + switch
+        out[name] = {
+            "switch_ms": ms(switch),
+            "switch_pct_of_merged_slot": round(100 * switch / merged_slot, 1),
+            "last_request_wait_ms": ms(last_request_wait),
+        }
+    out["avg_saving_ms"] = round(
+        out["dlora"]["switch_ms"] - out["v-lora"]["switch_ms"], 1
+    )
+    return out
+
+
+def test_fig07_mode_switch_cost(benchmark, results):
+    data = run_experiment()
+    cm = GemmCostModel(A100_80GB)
+    swift = SwiftSwitcher(QWEN_VL_7B, ATMMOperator(cm), num_projections=2)
+    spec = LoRAAdapterSpec("lora-1", QWEN_VL_7B)
+    benchmark(swift.merge_seconds, spec)
+
+    rows = [
+        ["dLoRA", data["dlora"]["switch_ms"],
+         f"{data['dlora']['switch_pct_of_merged_slot']}%",
+         data["dlora"]["last_request_wait_ms"], "paper: 53ms / 64% / 165ms"],
+        ["V-LoRA", data["v-lora"]["switch_ms"],
+         f"{data['v-lora']['switch_pct_of_merged_slot']}%",
+         data["v-lora"]["last_request_wait_ms"], "paper: <10ms / <80ms wait"],
+    ]
+    results.print_table(
+        "Fig 7: mode switch cost (8x256-token FCFS scenario)",
+        ["system", "switch ms", "% of merged slot", "last-req wait ms", "paper"],
+        rows,
+    )
+    results.save("fig07_mode_switch", data)
+
+    assert data["dlora"]["switch_ms"] > 35      # paper: 53 ms
+    assert data["v-lora"]["switch_ms"] < 10     # paper: <10 ms
+    assert data["dlora"]["switch_ms"] > 5 * data["v-lora"]["switch_ms"]

@@ -1,0 +1,150 @@
+"""Fig. 14 — end-to-end average token latency across serving systems.
+
+Paper: over two applications (visual retrieval on the Azure-shaped
+trace, video analytics at one 30-frame chunk/s/stream) and three LMMs
+(Qwen-VL-7B, LLaVA-1.5-7B, LLaVA-1.5-13B), V-LoRA cuts average token
+latency by 72% / 50% / 20% vs dLoRA / Punica / S-LoRA on retrieval and
+by 89% / 83% / 71% on video analytics, with most systems' inflection
+point (queueing blow-up) appearing as the rate grows.
+
+Baselines serve vision tasks through the LM head (they are generic LoRA
+servers); V-LoRA's adapters bundle vision task heads (§4.2.2).
+"""
+
+from _common import ms, reduction
+
+from repro.core import SystemBuilder
+from repro.models import LLAVA15_13B, LLAVA15_7B, QWEN_VL_7B
+from repro.workloads import RetrievalWorkload, VideoAnalyticsWorkload
+
+SYSTEMS = ("v-lora", "s-lora", "punica", "dlora")
+MODELS = {
+    "Qwen-VL-7B": QWEN_VL_7B,
+    "LLaVA-1.5-7B": LLAVA15_7B,
+    "LLaVA-1.5-13B": LLAVA15_13B,
+}
+RETRIEVAL_RATES = (2.0, 6.0, 10.0, 14.0)
+VIDEO_STREAMS = (2, 4, 6)
+
+PAPER_REDUCTIONS = {
+    "visual_retrieval": {"dlora": 72, "punica": 50, "s-lora": 20},
+    "video_analytics": {"dlora": 89, "punica": 83, "s-lora": 71},
+}
+
+
+def _run(engine, requests):
+    engine.submit(requests)
+    metrics = engine.run()
+    return ms(metrics.avg_token_latency())
+
+
+def run_retrieval(model):
+    builder = SystemBuilder(model=model, num_adapters=8)
+    out = {}
+    for rate in RETRIEVAL_RATES:
+        row = {}
+        for system in SYSTEMS:
+            wl = RetrievalWorkload(
+                builder.adapter_ids, rate_rps=rate, duration_s=20.0,
+                use_task_heads=(system == "v-lora"), seed=14,
+            )
+            row[system] = _run(builder.build(system), wl.generate())
+        out[rate] = row
+    return out
+
+
+def run_video(model):
+    builder = SystemBuilder(model=model, num_adapters=4)
+    out = {}
+    for streams in VIDEO_STREAMS:
+        row = {}
+        for system in SYSTEMS:
+            wl = VideoAnalyticsWorkload(
+                builder.adapter_ids, num_streams=streams, duration_s=20.0,
+                use_task_heads=(system == "v-lora"), seed=14,
+            )
+            row[system] = _run(builder.build(system), wl.generate())
+        out[streams] = row
+    return out
+
+
+def test_fig14_e2e(benchmark, results):
+    data = {"visual_retrieval": {}, "video_analytics": {}}
+    for model_name, model in MODELS.items():
+        data["visual_retrieval"][model_name] = run_retrieval(model)
+        data["video_analytics"][model_name] = run_video(model)
+
+    def one_iteration():
+        builder = SystemBuilder(num_adapters=4)
+        engine = builder.build("v-lora")
+        wl = RetrievalWorkload(builder.adapter_ids, rate_rps=4.0,
+                               duration_s=1.0, seed=0)
+        engine.submit(wl.generate())
+        engine.step()
+
+    benchmark.pedantic(one_iteration, rounds=3, iterations=1)
+
+    summary = {}
+    for app, per_model in data.items():
+        rows = []
+        reductions = {s: [] for s in SYSTEMS[1:]}
+        for model_name, sweep in per_model.items():
+            for x, row in sweep.items():
+                vl = row["v-lora"]
+                rows.append([
+                    model_name, x,
+                    *(row[s] for s in SYSTEMS),
+                    " / ".join(reduction(vl, row[s]) for s in SYSTEMS[1:]),
+                ])
+                for s in SYSTEMS[1:]:
+                    reductions[s].append(1 - vl / row[s])
+        results.print_table(
+            f"Fig 14 ({app}): avg token latency (ms)",
+            ["model", "load", *SYSTEMS, "V-LoRA cut (slora/punica/dlora)"],
+            rows,
+        )
+        summary[app] = {
+            s: f"-{100 * sum(v) / len(v):.0f}% "
+               f"(paper -{PAPER_REDUCTIONS[app][s]}%)"
+            for s, v in reductions.items()
+        }
+    results.print_table(
+        "Fig 14 summary: mean V-LoRA latency reduction",
+        ["application", *SYSTEMS[1:]],
+        [[app, *(summary[app][s] for s in SYSTEMS[1:])] for app in summary],
+    )
+    # The paper notes "the inflection points of most serving systems
+    # occur at 6" requests/s on their testbed; report ours.
+    from repro.analysis import saturation_point
+    knees = {}
+    for system in SYSTEMS:
+        series = {
+            rate: data["visual_retrieval"]["Qwen-VL-7B"][rate][system]
+            for rate in RETRIEVAL_RATES
+        }
+        knees[system] = saturation_point(series, blowup=3.0)
+    results.print_table(
+        "Fig 14: latency inflection point (Qwen-VL retrieval; paper: ~6 rps)",
+        ["system", "knee (rps)"],
+        [[k, v if v is not None else ">14"] for k, v in knees.items()],
+    )
+    summary["inflection_rps"] = {k: str(v) for k, v in knees.items()}
+    results.save("fig14_e2e", {"sweeps": {
+        app: {m: {str(x): row for x, row in sweep.items()}
+              for m, sweep in per_model.items()}
+        for app, per_model in data.items()
+    }, "summary": summary})
+
+    # Shape: V-LoRA wins everywhere; dLoRA is the worst baseline; the
+    # video-analytics gap is the larger one (vision task heads).
+    for app, per_model in data.items():
+        for sweep in per_model.values():
+            for row in sweep.values():
+                assert row["v-lora"] <= min(row[s] for s in SYSTEMS[1:])
+    hi_retr = data["visual_retrieval"]["Qwen-VL-7B"][RETRIEVAL_RATES[-1]]
+    assert hi_retr["dlora"] == max(hi_retr.values())
+    video = data["video_analytics"]["Qwen-VL-7B"][4]
+    video_cut = 1 - video["v-lora"] / video["dlora"]
+    retr_cut = 1 - hi_retr["v-lora"] / hi_retr["dlora"]
+    assert video_cut > retr_cut
+    assert video_cut > 0.5

@@ -1,0 +1,98 @@
+"""Fig. 17 — LoRA-batching operator latency across token batch sizes.
+
+Paper: averaged over diverse inputs, ATMM is fastest at every batch
+size — 2.7x vs S-LoRA, 2.3x vs Punica, 3.4x vs dLoRA overall; at the
+decode stage (small shapes, left of the figure) ATMM stays within reach
+of S-LoRA while beating dLoRA by 4.5x and Punica by 2.6x.
+"""
+
+import numpy as np
+
+from _common import ms
+
+from repro.hardware import A100_80GB
+from repro.kernels import make_operator
+
+SYSTEMS = ("atmm", "s-lora", "punica", "dlora")
+D = 4096
+
+#: Token batch sizes; <=64 is the decode regime, >=256 prefill.
+BATCH_TOKENS = (8, 16, 32, 64, 256, 1024, 2048, 4096, 8192)
+
+
+def _workload(total_tokens: int, rng: np.random.Generator):
+    """Split a token budget over 2-4 request groups with rank 64."""
+    groups = int(rng.integers(2, 5))
+    cuts = np.sort(rng.choice(np.arange(1, total_tokens), groups - 1,
+                              replace=False)) if total_tokens > groups else []
+    sizes = np.diff([0, *cuts, total_tokens])
+    sizes = [max(int(s), 1) for s in sizes]
+    return sizes, [64] * len(sizes)
+
+
+def run_experiment(rounds: int = 25):
+    rng = np.random.default_rng(0)
+    ops = {name: make_operator(name, A100_80GB) for name in SYSTEMS}
+    series = {name: {} for name in SYSTEMS}
+    for total in BATCH_TOKENS:
+        workloads = [_workload(total, rng) for _ in range(rounds)]
+        for name, op in ops.items():
+            lat = np.mean([
+                op.pair_seconds(tokens, ranks, D)
+                for tokens, ranks in workloads
+            ])
+            series[name][total] = float(lat)
+    return series
+
+
+def speedups(series):
+    out = {}
+    for name in SYSTEMS[1:]:
+        ratios = [
+            series[name][t] / series["atmm"][t] for t in BATCH_TOKENS
+        ]
+        decode = [series[name][t] / series["atmm"][t]
+                  for t in BATCH_TOKENS if t <= 64]
+        out[name] = {
+            "overall_speedup": round(float(np.mean(ratios)), 2),
+            "decode_speedup": round(float(np.mean(decode)), 2),
+        }
+    return out
+
+
+def test_fig17_operator_latency(benchmark, results):
+    series = run_experiment()
+    ratios = speedups(series)
+    op = make_operator("atmm", A100_80GB)
+    benchmark(op.pair_seconds, [256, 256, 512], [64, 64, 64], D)
+
+    rows = [
+        [t, *(ms(series[s][t]) for s in SYSTEMS)] for t in BATCH_TOKENS
+    ]
+    results.print_table(
+        "Fig 17: operator latency (ms) vs token batch size",
+        ["tokens", *SYSTEMS], rows,
+    )
+    results.print_table(
+        "Fig 17: ATMM speedups (paper: 2.7x S-LoRA, 2.3x Punica, 3.4x "
+        "dLoRA; decode 4.5x dLoRA, 2.6x Punica)",
+        ["baseline", "overall", "decode-stage"],
+        [[k, f"{v['overall_speedup']}x", f"{v['decode_speedup']}x"]
+         for k, v in ratios.items()],
+    )
+    results.save("fig17_operator_latency", {
+        "latency_ms": {s: {str(t): ms(v) for t, v in d.items()}
+                       for s, d in series.items()},
+        "speedups": ratios,
+    })
+
+    # ATMM wins at every batch size.
+    for t in BATCH_TOKENS:
+        assert series["atmm"][t] <= min(series[s][t] for s in SYSTEMS[1:])
+    # Meaningful average speedups (paper: 2.3-3.4x).
+    assert ratios["s-lora"]["overall_speedup"] > 1.8
+    assert ratios["dlora"]["overall_speedup"] > 1.8
+    # Decode stage: dLoRA much worse, S-LoRA comparable-ish.
+    assert ratios["dlora"]["decode_speedup"] > 3.0
+    assert ratios["s-lora"]["decode_speedup"] < \
+        ratios["dlora"]["decode_speedup"]

@@ -1,0 +1,68 @@
+"""Fig. 18 — operator latency stability (average, 90th, 95th percentile).
+
+Paper: across 100 measured rounds, ATMM's latency fluctuation is the
+smallest — 3x lower than S-LoRA and 2x lower than Punica and dLoRA —
+because the offline-profiled tiling keeps SM occupancy regular.
+"""
+
+import numpy as np
+
+from _common import ms
+
+from repro.hardware import A100_80GB
+from repro.kernels import make_operator
+
+SYSTEMS = ("atmm", "s-lora", "punica", "dlora")
+D = 4096
+ROUNDS = 100
+WARMUP = 10
+
+
+def run_experiment():
+    rng = np.random.default_rng(42)
+    stats = {}
+    for name in SYSTEMS:
+        op = make_operator(name, A100_80GB)
+        mean = op.pair_seconds([512, 256, 768], [64, 64, 64], D)
+        samples = [op.sample_seconds(mean, rng)
+                   for _ in range(WARMUP + ROUNDS)][WARMUP:]
+        samples = np.array(samples)
+        stats[name] = {
+            "mean_ms": ms(float(samples.mean())),
+            "p90_ms": ms(float(np.percentile(samples, 90))),
+            "p95_ms": ms(float(np.percentile(samples, 95))),
+            "fluctuation_ms": ms(float(samples.std())),
+            "relative_fluctuation": round(
+                float(samples.std() / samples.mean()), 4
+            ),
+        }
+    return stats
+
+
+def test_fig18_operator_stability(benchmark, results):
+    stats = run_experiment()
+    rng = np.random.default_rng(0)
+    op = make_operator("atmm", A100_80GB)
+    benchmark(op.sample_seconds, 1e-3, rng)
+
+    rows = [
+        [s, stats[s]["mean_ms"], stats[s]["p90_ms"], stats[s]["p95_ms"],
+         stats[s]["relative_fluctuation"]]
+        for s in SYSTEMS
+    ]
+    results.print_table(
+        "Fig 18: operator stability over 100 rounds "
+        "(paper: ATMM fluctuation 3x < S-LoRA, 2x < Punica/dLoRA)",
+        ["operator", "mean ms", "p90 ms", "p95 ms", "rel. fluctuation"],
+        rows,
+    )
+    results.save("fig18_operator_stability", stats)
+
+    atmm = stats["atmm"]["relative_fluctuation"]
+    assert stats["s-lora"]["relative_fluctuation"] > 2.0 * atmm
+    assert stats["punica"]["relative_fluctuation"] > 1.4 * atmm
+    assert stats["dlora"]["relative_fluctuation"] > 1.4 * atmm
+    # Tail latency tracks the same ordering.
+    assert stats["atmm"]["p95_ms"] <= min(
+        stats[s]["p95_ms"] for s in SYSTEMS[1:]
+    )

@@ -1,0 +1,70 @@
+"""Fig. 21 — benefit of the swift inference-mode switcher.
+
+Paper: on a two-adapter workload, V-LoRA (switching with the swift
+switcher) delivers 1.2x / 1.4x speedups over dLoRA (slow switcher +
+Einsum) and pure unmerged serving.
+"""
+
+from _common import ms, reduction
+
+from repro.core import SystemBuilder
+from repro.workloads import RetrievalWorkload
+
+SYSTEMS = ("v-lora", "dlora", "unmerge-only")
+
+
+def run_experiment():
+    builder = SystemBuilder(num_adapters=2)
+    out = {}
+    for system in SYSTEMS:
+        engine = builder.build(system)
+        wl = RetrievalWorkload(
+            builder.adapter_ids, rate_rps=10.0, duration_s=25.0,
+            top_adapter_share=0.7, use_task_heads=False, seed=21,
+        )
+        engine.submit(wl.generate())
+        metrics = engine.run()
+        out[system] = {
+            "mean_latency_s": round(metrics.mean_latency(), 4),
+            "mode_switches": metrics.num_mode_switches,
+            "switch_time_total_s": round(metrics.switch_time_total, 4),
+        }
+    return out
+
+
+def test_fig21_swift_switch(benchmark, results):
+    data = run_experiment()
+
+    from repro.hardware import A100_80GB
+    from repro.kernels import ATMMOperator, GemmCostModel
+    from repro.models import QWEN_VL_7B, LoRAAdapterSpec
+    from repro.runtime.switcher import SwiftSwitcher
+    swift = SwiftSwitcher(QWEN_VL_7B,
+                          ATMMOperator(GemmCostModel(A100_80GB)),
+                          num_projections=2)
+    benchmark(swift.merge_seconds, LoRAAdapterSpec("a", QWEN_VL_7B))
+
+    vl = data["v-lora"]["mean_latency_s"]
+    rows = [
+        [s, f"{d['mean_latency_s']}s", d["mode_switches"],
+         f"{d['switch_time_total_s']}s",
+         f"{d['mean_latency_s'] / vl:.2f}x" if s != "v-lora" else "1.00x"]
+        for s, d in data.items()
+    ]
+    results.print_table(
+        "Fig 21: two-adapter serving with different switchers "
+        "(paper: swift gives 1.2x vs dLoRA, 1.4x vs unmerged)",
+        ["system", "mean latency", "switches", "switch time", "slowdown"],
+        rows,
+    )
+    results.save("fig21_swift_switch", data)
+
+    assert data["dlora"]["mean_latency_s"] > 1.05 * vl
+    assert data["unmerge-only"]["mean_latency_s"] > 1.05 * vl
+    # dLoRA burns far more wall time inside switches per switch event.
+    if data["dlora"]["mode_switches"]:
+        dlora_per = (data["dlora"]["switch_time_total_s"]
+                     / data["dlora"]["mode_switches"])
+        vlora_per = (data["v-lora"]["switch_time_total_s"]
+                     / max(data["v-lora"]["mode_switches"], 1))
+        assert dlora_per > 3 * vlora_per

@@ -1,0 +1,22 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation:
+it runs the experiment on the simulated clock, prints the same
+rows/series the paper reports, writes them to ``results/<id>.json``, and
+times a representative unit of the system under pytest-benchmark.
+
+Run them all with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import ResultSink
+
+
+@pytest.fixture(scope="session")
+def results():
+    return ResultSink()

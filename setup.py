@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project is PEP 621 (see pyproject.toml); this file only exists so
+``python setup.py develop`` works on environments whose setuptools lacks
+PEP 660 editable-install support (e.g. no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — a full reproduction of V-LoRA (EuroSys 2025).
+
+V-LoRA is an end-to-end LoRA-LMM serving system for vision applications:
+accuracy-aware LoRA adapter generation (§4.2), adaptive-tiling LoRA
+adapter batching (ATMM, §4.3), and flexible adapter orchestration with
+merged / unmerged / mixture inference modes (§4.4).
+
+Quick start::
+
+    from repro import VLoRA, KnowledgeItem, RetrievalWorkload
+
+    vlora = VLoRA()
+    vlora.prepare_adapters([
+        KnowledgeItem("aid", "image_classification", 0.90),
+        KnowledgeItem("ucf", "video_classification", 0.85),
+    ])
+    workload = RetrievalWorkload(vlora.adapter_ids, rate_rps=4.0)
+    metrics = vlora.serve(workload.generate())
+    print(metrics.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core import SYSTEM_NAMES, SystemBuilder, VLoRA, VLoRAConfig, build_engine
+from repro.generation.fusion import KnowledgeItem
+from repro.workloads import RetrievalWorkload, VideoAnalyticsWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VLoRA",
+    "VLoRAConfig",
+    "SystemBuilder",
+    "build_engine",
+    "SYSTEM_NAMES",
+    "KnowledgeItem",
+    "RetrievalWorkload",
+    "VideoAnalyticsWorkload",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Experiment analysis: sweeps, system comparison, and text rendering.
+
+* :mod:`repro.analysis.sweep` — declarative parameter sweeps over
+  (system, workload) grids with deterministic seeding;
+* :mod:`repro.analysis.compare` — paired system comparisons and the
+  paper-style "-NN%" reduction arithmetic;
+* :mod:`repro.analysis.textplot` — dependency-free ASCII line charts and
+  bar charts for rendering figure-shaped results in a terminal.
+"""
+
+from repro.analysis.compare import (
+    ComparisonRow,
+    SystemComparison,
+    saturation_point,
+)
+from repro.analysis.report import build_report, load_results, render_report
+from repro.analysis.sweep import SweepResult, SweepRunner
+from repro.analysis.textplot import bar_chart, line_chart
+
+__all__ = [
+    "SweepRunner",
+    "SweepResult",
+    "SystemComparison",
+    "ComparisonRow",
+    "line_chart",
+    "bar_chart",
+    "load_results",
+    "build_report",
+    "render_report",
+    "saturation_point",
+]

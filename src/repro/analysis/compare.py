@@ -1,0 +1,109 @@
+"""Paired system comparisons with the paper's "-NN%" arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.sweep import SweepResult
+
+
+def saturation_point(series: Dict[object, float],
+                     blowup: float = 3.0) -> Optional[object]:
+    """The load where latency blows past ``blowup`` x the lightest-load
+    latency — the 'inflection point' of Fig. 14 (None if never).
+
+    ``series`` maps load (sortable) -> latency.
+    """
+    if not series:
+        raise ValueError("empty series")
+    if blowup <= 1.0:
+        raise ValueError(f"blowup must exceed 1, got {blowup}")
+    items = sorted(series.items())
+    base = items[0][1]
+    if base <= 0:
+        raise ValueError("latencies must be positive")
+    for load, latency in items:
+        if latency > blowup * base:
+            return load
+    return None
+
+
+def reduction_pct(ours: float, baseline: float) -> float:
+    """Latency reduction of ``ours`` vs ``baseline`` in percent.
+
+    Positive = we are faster (the paper's "reduces NN% latency").
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (1.0 - ours / baseline)
+
+
+@dataclass
+class ComparisonRow:
+    """Reduction of the reference system vs one baseline along the axis."""
+
+    baseline: str
+    per_axis_pct: Dict[object, float]
+
+    @property
+    def mean_pct(self) -> float:
+        values = list(self.per_axis_pct.values())
+        return sum(values) / len(values)
+
+    @property
+    def min_pct(self) -> float:
+        return min(self.per_axis_pct.values())
+
+    @property
+    def max_pct(self) -> float:
+        return max(self.per_axis_pct.values())
+
+    def band(self) -> str:
+        """The paper's "NN-MM%" band string."""
+        return f"{self.min_pct:.0f}-{self.max_pct:.0f}%"
+
+
+@dataclass
+class SystemComparison:
+    """Reference-vs-baselines view over a completed sweep."""
+
+    sweep: SweepResult
+    reference: str = "v-lora"
+    metric: str = "avg_token_latency_ms"
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.reference not in self.sweep.systems:
+            raise KeyError(
+                f"reference {self.reference!r} not in sweep systems "
+                f"{self.sweep.systems}"
+            )
+        ref_series = self.sweep.series(self.reference, self.metric)
+        for system in self.sweep.systems:
+            if system == self.reference:
+                continue
+            base_series = self.sweep.series(system, self.metric)
+            per_axis = {
+                k: reduction_pct(ref_series[k], base_series[k])
+                for k in ref_series if k in base_series
+            }
+            if per_axis:
+                self.rows.append(ComparisonRow(system, per_axis))
+
+    def row(self, baseline: str) -> ComparisonRow:
+        for r in self.rows:
+            if r.baseline == baseline:
+                return r
+        raise KeyError(f"no comparison row for {baseline!r}")
+
+    def reference_wins_everywhere(self, tolerance_pct: float = 0.0) -> bool:
+        """Whether the reference beats every baseline at every axis value."""
+        return all(
+            pct >= -tolerance_pct
+            for r in self.rows for pct in r.per_axis_pct.values()
+        )
+
+    def summary(self) -> Dict[str, str]:
+        return {r.baseline: f"-{r.mean_pct:.0f}% (band {r.band()})"
+                for r in self.rows}

@@ -1,0 +1,137 @@
+"""Experiment report: summarize the ``results/*.json`` the benches write.
+
+``python -m repro report`` renders a one-screen digest of every
+regenerated table/figure so a reader can check the reproduction without
+re-running the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+#: experiment id -> (title, function extracting one headline line)
+_DIGESTERS = {}
+
+
+def _digester(experiment_id: str, title: str):
+    def wrap(fn):
+        _DIGESTERS[experiment_id] = (title, fn)
+        return fn
+    return wrap
+
+
+def _fmt(value, digits=2):
+    if isinstance(value, (int, float)):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@_digester("table1_tiling", "Table 1: adaptive tiling")
+def _table1(data):
+    adaptive = data.get("adaptive_ms", {})
+    return "ATMM per-input latency: " + ", ".join(
+        f"{k.split()[0]}={v}ms" for k, v in adaptive.items()
+    )
+
+
+@_digester("fig14_e2e", "Fig 14: end-to-end latency reduction")
+def _fig14(data):
+    summary = data.get("summary", {})
+    parts = []
+    for app, row in summary.items():
+        if app == "inflection_rps":
+            continue
+        inner = ", ".join(f"{k} {v.split(' ')[0]}" for k, v in row.items())
+        parts.append(f"{app}: {inner}")
+    knees = summary.get("inflection_rps")
+    if knees:
+        parts.append(
+            "knee(rps): " + ", ".join(f"{k}={v}" for k, v in knees.items())
+        )
+    return "; ".join(parts)
+
+
+@_digester("fig17_operator_latency", "Fig 17: ATMM speedups")
+def _fig17(data):
+    ratios = data.get("speedups", {})
+    return ", ".join(
+        f"{k} {v['overall_speedup']}x (decode {v['decode_speedup']}x)"
+        for k, v in ratios.items()
+    )
+
+
+@_digester("fig05_fusion_capacity", "Fig 5: fusion capacity (measured)")
+def _fig05(data):
+    measured = data.get("measured", {})
+    return ", ".join(
+        f"{fam.split('_')[0]} k=6 -> {curve.get('6', curve.get(6, '?'))}"
+        for fam, curve in measured.items()
+    )
+
+
+@_digester("fig07_mode_switch", "Fig 7: mode switch")
+def _fig07(data):
+    return (f"dLoRA {data['dlora']['switch_ms']}ms vs "
+            f"V-LoRA {data['v-lora']['switch_ms']}ms")
+
+
+@_digester("table3_multigpu", "Table 3: multi-GPU throughput")
+def _table3(data):
+    return ", ".join(
+        f"{gpus} GPU(s)={row['throughput_rps']}rps"
+        for gpus, row in sorted(data.items(), key=lambda kv: int(kv[0]))
+    )
+
+
+def _generic(data) -> str:
+    """Fallback digest: top-level keys."""
+    if isinstance(data, dict):
+        keys = list(data)[:6]
+        return f"keys: {', '.join(map(str, keys))}"
+    return type(data).__name__
+
+
+def load_results(results_dir: Union[str, pathlib.Path]) -> Dict[str, dict]:
+    """Load every ``*.json`` under the results directory."""
+    results_dir = pathlib.Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    out = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            with open(path) as fh:
+                out[path.stem] = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: invalid JSON ({exc})") from None
+    return out
+
+
+def build_report(results: Dict[str, dict]) -> List[Tuple[str, str, str]]:
+    """(experiment id, title, digest line) per result file."""
+    rows = []
+    for experiment_id, data in sorted(results.items()):
+        title, fn = _DIGESTERS.get(
+            experiment_id, (experiment_id, _generic)
+        )
+        try:
+            digest = fn(data)
+        except (KeyError, TypeError, AttributeError):
+            digest = _generic(data)
+        rows.append((experiment_id, title, digest))
+    return rows
+
+
+def render_report(results_dir: Union[str, pathlib.Path]) -> str:
+    """The full text report."""
+    results = load_results(results_dir)
+    if not results:
+        return (f"no results in {results_dir}; run "
+                "`pytest benchmarks/ --benchmark-only` first")
+    lines = [f"reproduction results ({len(results)} experiments)", ""]
+    for experiment_id, title, digest in build_report(results):
+        lines.append(f"* {title}")
+        lines.append(f"    {digest}")
+        lines.append(f"    [results/{experiment_id}.json]")
+    return "\n".join(lines)

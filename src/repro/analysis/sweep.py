@@ -1,0 +1,107 @@
+"""Declarative parameter sweeps over (system, workload) grids.
+
+The evaluation section is a pile of sweeps: rate x system, skew x
+system, adapters x system, GPUs x rate.  :class:`SweepRunner` runs one
+axis of workload variation against a set of systems with fresh engines
+per cell and returns a tidy result table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.builder import SystemBuilder
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.request import Request
+
+#: A workload factory: axis value -> request list.  It runs once per
+#: (axis value, system) cell so each system sees identical requests
+#: (fresh Request objects, same content).
+WorkloadFactory = Callable[[object, str], Sequence[Request]]
+
+
+@dataclass
+class SweepCell:
+    """One (axis value, system) measurement."""
+
+    axis_value: object
+    system: str
+    metrics: MetricsCollector
+
+    def value(self, metric: str) -> float:
+        summary = self.metrics.summary()
+        if metric not in summary:
+            raise KeyError(
+                f"unknown metric {metric!r}; available: {sorted(summary)}"
+            )
+        return summary[metric]
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, queryable by metric."""
+
+    axis_name: str
+    systems: List[str]
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def series(self, system: str, metric: str) -> Dict[object, float]:
+        """metric values along the axis for one system."""
+        if system not in self.systems:
+            raise KeyError(f"system {system!r} not in sweep {self.systems}")
+        return {
+            c.axis_value: c.value(metric)
+            for c in self.cells if c.system == system
+        }
+
+    def table(self, metric: str) -> List[List[object]]:
+        """Rows of [axis value, metric per system...] for printing."""
+        axis_values = sorted({c.axis_value for c in self.cells},
+                             key=lambda v: (str(type(v)), v))
+        rows = []
+        for value in axis_values:
+            row = [value]
+            for system in self.systems:
+                match = [c for c in self.cells
+                         if c.axis_value == value and c.system == system]
+                row.append(round(match[0].value(metric), 4) if match else None)
+            rows.append(row)
+        return rows
+
+
+class SweepRunner:
+    """Runs a one-axis sweep across systems."""
+
+    def __init__(self, builder: SystemBuilder,
+                 systems: Sequence[str] = ("v-lora", "s-lora", "punica",
+                                           "dlora")):
+        if not systems:
+            raise ValueError("need at least one system")
+        self.builder = builder
+        self.systems = list(systems)
+
+    def run(
+        self,
+        axis_name: str,
+        axis_values: Sequence[object],
+        workload_factory: WorkloadFactory,
+        until: Optional[float] = None,
+    ) -> SweepResult:
+        """Execute the grid; every cell gets a fresh engine."""
+        if not axis_values:
+            raise ValueError("need at least one axis value")
+        result = SweepResult(axis_name=axis_name, systems=self.systems)
+        for value in axis_values:
+            for system in self.systems:
+                engine = self.builder.build(system)
+                requests = list(workload_factory(value, system))
+                if not requests:
+                    raise ValueError(
+                        f"workload factory produced no requests for "
+                        f"{axis_name}={value!r}, system={system!r}"
+                    )
+                engine.submit(requests)
+                metrics = engine.run(until=until)
+                result.cells.append(SweepCell(value, system, metrics))
+        return result

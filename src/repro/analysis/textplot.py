@@ -1,0 +1,100 @@
+"""Dependency-free ASCII charts for figure-shaped results.
+
+Rendering the reproduced figures in a terminal keeps the harness
+self-contained (no matplotlib offline).  Charts are deliberately simple:
+a scaled scatter of series points for line charts, and horizontal bars
+for bar charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x -> y) series as an ASCII chart.
+
+    Each series gets a mark from ``oX+*``...; collisions show the later
+    series' mark.  Returns the chart as one string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to render")
+    points = [
+        (x, y) for vals in series.values() for x, y in vals.items()
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, vals) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in vals.items():
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_min:10.3g} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{x_min:<10.4g}{x_label:^{max(width - 20, 1)}}"
+        f"{x_max:>10.4g}"
+    )
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + f"   ({y_label})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+    reference: Optional[str] = None,
+) -> str:
+    """Render named values as horizontal bars.
+
+    ``reference`` (if given) is marked and other bars show their ratio
+    to it.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    ref_value = values.get(reference) if reference else None
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(value / peak * width))) if value else ""
+        suffix = f" {value:.3g}{unit}"
+        if ref_value and name != reference and ref_value > 0:
+            suffix += f" ({value / ref_value:.2f}x)"
+        elif reference and name == reference:
+            suffix += " (ref)"
+        lines.append(f"{name:<{label_w}} |{bar:<{width}}|{suffix}")
+    return "\n".join(lines)

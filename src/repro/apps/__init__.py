@@ -1,0 +1,31 @@
+"""Vision applications: the consumer-facing layer of Fig. 8.
+
+The paper frames V-LoRA's inputs as *applications*: each brings external
+knowledge (small models / datasets) with accuracy requirements into the
+offline phase, and a request stream with a latency constraint into the
+online phase.  This package provides that abstraction:
+
+* :class:`~repro.apps.application.VisionApplication` — knowledge items +
+  workload + SLO for one application;
+* ready-made :func:`~repro.apps.application.video_analytics_app` and
+  :func:`~repro.apps.application.visual_retrieval_app` factories;
+* :class:`~repro.apps.deployment.Deployment` — registers applications,
+  runs the offline fusion across all of their knowledge, routes each
+  application's tasks to the fused adapters, serves the combined stream,
+  and reports per-application latency/SLO attainment.
+"""
+
+from repro.apps.application import (
+    VisionApplication,
+    video_analytics_app,
+    visual_retrieval_app,
+)
+from repro.apps.deployment import ApplicationReport, Deployment
+
+__all__ = [
+    "VisionApplication",
+    "video_analytics_app",
+    "visual_retrieval_app",
+    "Deployment",
+    "ApplicationReport",
+]

@@ -1,0 +1,131 @@
+"""Vision application descriptions (Fig. 8's dotted and solid arrows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.generation.fusion import KnowledgeItem
+from repro.generation.heads import TASK_PROFILES
+from repro.runtime.request import Request
+from repro.workloads.retrieval import RetrievalWorkload
+from repro.workloads.video import VideoAnalyticsWorkload
+
+#: A workload factory: adapter ids (routed for this app) -> requests.
+WorkloadFn = Callable[[Sequence[str]], List[Request]]
+
+
+@dataclass
+class VisionApplication:
+    """One application: knowledge in, requests out, an SLO to honor.
+
+    Attributes
+    ----------
+    name:
+        Application name; stamped onto its requests' ``task_name``-level
+        accounting via the per-app report.
+    knowledge:
+        Knowledge items the offline phase must pack (dotted arrows of
+        Fig. 8).  Their ``family_name`` routes the app's tasks to the
+        adapters that absorbed them.
+    tasks:
+        The vision tasks this application issues.
+    workload:
+        Factory building the request stream given the adapter ids the
+        deployment routed to this app (solid arrows of Fig. 8).
+    latency_slo_s:
+        Per-request latency constraint (§4.4: "guaranteeing each vision
+        application's latency constraint"); stamped onto every request.
+    """
+
+    name: str
+    knowledge: List[KnowledgeItem]
+    tasks: List[str]
+    workload: WorkloadFn
+    latency_slo_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("application needs a name")
+        if not self.knowledge:
+            raise ValueError(f"{self.name}: needs at least one knowledge item")
+        unknown = [t for t in self.tasks if t not in TASK_PROFILES]
+        if unknown:
+            raise ValueError(f"{self.name}: unknown tasks {unknown}")
+        if self.latency_slo_s is not None and self.latency_slo_s <= 0:
+            raise ValueError(f"{self.name}: latency_slo_s must be positive")
+
+    def build_requests(self, adapter_ids: Sequence[str]) -> List[Request]:
+        """Materialize the request stream against the routed adapters."""
+        if not adapter_ids:
+            raise ValueError(f"{self.name}: no adapters routed")
+        requests = self.workload(adapter_ids)
+        for r in requests:
+            r.slo_s = self.latency_slo_s
+        return requests
+
+
+def video_analytics_app(
+    name: str = "video-analytics",
+    num_streams: int = 2,
+    duration_s: float = 20.0,
+    accuracy_floor: float = 0.85,
+    latency_slo_s: float = 1.0,
+    num_domains: int = 2,
+    seed: int = 0,
+) -> VisionApplication:
+    """A video-analytics application: per-camera detection + action
+    recognition domains, one chunk per second per stream, tight SLO."""
+    knowledge = (
+        [KnowledgeItem(f"{name}/det-{i}", "object_detection",
+                       accuracy_floor) for i in range(num_domains)]
+        + [KnowledgeItem(f"{name}/act-{i}", "video_classification",
+                         accuracy_floor) for i in range(num_domains)]
+    )
+
+    def workload(adapter_ids: Sequence[str]) -> List[Request]:
+        return VideoAnalyticsWorkload(
+            adapter_ids, num_streams=num_streams, duration_s=duration_s,
+            use_task_heads=True, seed=seed,
+        ).generate()
+
+    return VisionApplication(
+        name=name,
+        knowledge=knowledge,
+        tasks=["object_detection", "video_understanding"],
+        workload=workload,
+        latency_slo_s=latency_slo_s,
+    )
+
+
+def visual_retrieval_app(
+    name: str = "visual-retrieval",
+    rate_rps: float = 4.0,
+    duration_s: float = 20.0,
+    accuracy_floor: float = 0.75,
+    latency_slo_s: Optional[float] = 8.0,
+    num_domains: int = 3,
+    seed: int = 0,
+) -> VisionApplication:
+    """A visual-retrieval application: QA/caption/reference domains on
+    the Azure-shaped trace, throughput-oriented SLO."""
+    families = ["visual_qa", "image_caption", "referring_expression"]
+    knowledge = [
+        KnowledgeItem(f"{name}/{families[i % 3]}-{i}", families[i % 3],
+                      accuracy_floor)
+        for i in range(num_domains)
+    ]
+
+    def workload(adapter_ids: Sequence[str]) -> List[Request]:
+        return RetrievalWorkload(
+            adapter_ids, rate_rps=rate_rps, duration_s=duration_s,
+            use_task_heads=True, seed=seed,
+        ).generate()
+
+    return VisionApplication(
+        name=name,
+        knowledge=knowledge,
+        tasks=families,
+        workload=workload,
+        latency_slo_s=latency_slo_s,
+    )

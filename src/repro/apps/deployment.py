@@ -1,0 +1,131 @@
+"""Deployment: applications in, fused adapters and per-app metrics out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.application import VisionApplication
+from repro.core.vlora import VLoRA, VLoRAConfig
+from repro.generation.fusion import FusionResult
+from repro.runtime.metrics import MetricsCollector, RequestRecord
+from repro.runtime.request import Request
+
+
+@dataclass
+class ApplicationReport:
+    """Per-application serving outcome."""
+
+    name: str
+    completed: int
+    mean_latency_s: float
+    p99_latency_s: float
+    slo_attainment: Optional[float]
+    adapters: List[str]
+
+
+class Deployment:
+    """One V-LoRA instance hosting multiple vision applications.
+
+    Offline: every application's knowledge items are packed together by
+    the accuracy-aware fusion, so independent applications can share an
+    adapter when their knowledge coexists (the economy §4.2.1 is after).
+    Online: each application's requests run against the adapters that
+    absorbed its knowledge; reports are per application.
+    """
+
+    def __init__(self, applications: Sequence[VisionApplication],
+                 config: Optional[VLoRAConfig] = None):
+        if not applications:
+            raise ValueError("need at least one application")
+        names = [a.name for a in applications]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate application names in {names}")
+        self.applications = list(applications)
+        self.vlora = VLoRA(config)
+        self._fusion: Optional[FusionResult] = None
+        self._routing: Dict[str, List[str]] = {}
+        self._request_owner: Dict[int, str] = {}
+
+    # -- offline phase -----------------------------------------------------------
+
+    def prepare(self) -> FusionResult:
+        """Run the shared fusion and build each app's adapter routing."""
+        items = [k for app in self.applications for k in app.knowledge]
+        result = self.vlora.prepare_adapters(items)
+        self._fusion = result
+        owner_by_item = {
+            item.name: app.name
+            for app in self.applications for item in app.knowledge
+        }
+        self._routing = {app.name: [] for app in self.applications}
+        for adapter in result.adapters:
+            owners = {owner_by_item[i.name] for i in adapter.items}
+            for owner in owners:
+                self._routing[owner].append(adapter.adapter_id)
+        missing = [a for a, ids in self._routing.items() if not ids]
+        if missing:
+            raise RuntimeError(f"applications without adapters: {missing}")
+        return result
+
+    @property
+    def fusion(self) -> FusionResult:
+        if self._fusion is None:
+            raise RuntimeError("call prepare() first")
+        return self._fusion
+
+    def adapters_for(self, app_name: str) -> List[str]:
+        """Adapter ids routed to one application."""
+        if app_name not in self._routing:
+            raise KeyError(f"unknown application {app_name!r}")
+        return list(self._routing[app_name])
+
+    # -- online phase -----------------------------------------------------------------
+
+    def serve(self) -> Dict[str, ApplicationReport]:
+        """Generate every app's workload, serve the union, report per app."""
+        if self._fusion is None:
+            self.prepare()
+        all_requests: List[Request] = []
+        for app in self.applications:
+            requests = app.build_requests(self._routing[app.name])
+            for r in requests:
+                self._request_owner[r.request_id] = app.name
+            all_requests.extend(requests)
+        metrics = self.vlora.serve(all_requests)
+        return self._split_reports(metrics)
+
+    def _split_reports(
+        self, metrics: MetricsCollector
+    ) -> Dict[str, ApplicationReport]:
+        per_app: Dict[str, List[RequestRecord]] = {
+            app.name: [] for app in self.applications
+        }
+        for record in metrics.records:
+            owner = self._request_owner.get(record.request_id)
+            if owner is not None:
+                per_app[owner].append(record)
+        reports = {}
+        for app in self.applications:
+            records = per_app[app.name]
+            if not records:
+                raise RuntimeError(
+                    f"application {app.name!r} completed no requests"
+                )
+            latencies = np.array([r.latency for r in records])
+            with_slo = [r for r in records if r.slo_s is not None]
+            attainment = (
+                sum(1 for r in with_slo if r.latency <= r.slo_s)
+                / len(with_slo) if with_slo else None
+            )
+            reports[app.name] = ApplicationReport(
+                name=app.name,
+                completed=len(records),
+                mean_latency_s=float(latencies.mean()),
+                p99_latency_s=float(np.percentile(latencies, 99)),
+                slo_attainment=attainment,
+                adapters=self.adapters_for(app.name),
+            )
+        return reports

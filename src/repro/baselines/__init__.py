@@ -1,0 +1,26 @@
+"""Baseline serving systems (§6.1): S-LoRA, Punica, dLoRA, and the
+merge-only / unmerge-only ablations.
+
+All systems share the serving engine; they differ in LoRA operator,
+scheduling policy, and switcher — see
+:mod:`repro.core.builder` for the exact part matrix.  These helpers are
+thin named constructors so experiment code reads like the paper.
+"""
+
+from repro.baselines.systems import (
+    build_dlora,
+    build_merge_only,
+    build_punica,
+    build_slora,
+    build_unmerge_only,
+    build_vlora,
+)
+
+__all__ = [
+    "build_vlora",
+    "build_slora",
+    "build_punica",
+    "build_dlora",
+    "build_merge_only",
+    "build_unmerge_only",
+]

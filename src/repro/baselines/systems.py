@@ -1,0 +1,36 @@
+"""Named constructors for each serving system under comparison."""
+
+from __future__ import annotations
+
+from repro.core.builder import SystemBuilder
+from repro.runtime.engine import ServingEngine
+
+
+def build_vlora(**kwargs) -> ServingEngine:
+    """V-LoRA: ATMM + Algorithm 1 + swift switcher + prefix reuse."""
+    return SystemBuilder(**kwargs).build("v-lora")
+
+
+def build_slora(**kwargs) -> ServingEngine:
+    """S-LoRA: unmerged-only FCFS over its fine-grained CUDA-core kernel."""
+    return SystemBuilder(**kwargs).build("s-lora")
+
+
+def build_punica(**kwargs) -> ServingEngine:
+    """Punica: unmerged-only FCFS over its static Tensor-core kernel."""
+    return SystemBuilder(**kwargs).build("punica")
+
+
+def build_dlora(**kwargs) -> ServingEngine:
+    """dLoRA: merged/unmerged switching over Einsum, per-layer switcher."""
+    return SystemBuilder(**kwargs).build("dlora")
+
+
+def build_merge_only(**kwargs) -> ServingEngine:
+    """Ablation (Fig. 19): merged mode only, one adapter at a time."""
+    return SystemBuilder(**kwargs).build("merge-only")
+
+
+def build_unmerge_only(**kwargs) -> ServingEngine:
+    """Ablation (Fig. 19): V-LoRA's operator but unmerged mode only."""
+    return SystemBuilder(**kwargs).build("unmerge-only")

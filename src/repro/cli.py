@@ -1,0 +1,283 @@
+"""Command-line interface for the V-LoRA reproduction.
+
+Usage (installed module)::
+
+    python -m repro systems
+    python -m repro models
+    python -m repro serve --system v-lora --workload retrieval --rate 8
+    python -m repro compare --rates 4,8,12
+    python -m repro fuse --items image_classification:4:0.9,video_classification:2:0.88
+    python -m repro tiling-search --dim 4096 --rank 64
+    python -m repro trace generate --out /tmp/trace.jsonl --rate 6
+    python -m repro trace stats --path /tmp/trace.jsonl
+
+Every command prints plain text and returns a process exit code; all
+randomness is seeded via ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.compare import SystemComparison
+from repro.analysis.sweep import SweepRunner
+from repro.analysis.textplot import bar_chart, line_chart
+from repro.core.builder import SYSTEM_NAMES, SystemBuilder
+from repro.generation.fusion import KnowledgeFusion, KnowledgeItem, OracleEvaluator
+from repro.hardware.gpu import get_gpu, list_gpus
+from repro.models.config import get_model, list_models
+from repro.workloads.replay import load_trace, save_trace, trace_stats
+from repro.workloads.retrieval import RetrievalWorkload
+from repro.workloads.video import VideoAnalyticsWorkload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="V-LoRA reproduction toolbox"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list serving systems and their parts")
+    sub.add_parser("models", help="list LMM configurations (Table 2)")
+
+    serve = sub.add_parser("serve", help="run one serving simulation")
+    _common_serving_args(serve)
+    serve.add_argument("--system", default="v-lora", choices=SYSTEM_NAMES)
+    serve.add_argument("--trace-out", default=None,
+                       help="save the generated workload as a JSONL trace")
+    serve.add_argument("--trace-in", default=None,
+                       help="replay a JSONL trace instead of generating")
+    serve.add_argument("--json", action="store_true",
+                       help="print the metrics summary as JSON")
+
+    compare = sub.add_parser(
+        "compare", help="sweep request rates across all systems"
+    )
+    _common_serving_args(compare)
+    compare.add_argument("--rates", default="4,8,12",
+                         help="comma-separated request rates")
+    compare.add_argument("--systems", default=",".join(
+        ("v-lora", "s-lora", "punica", "dlora")))
+
+    fuse = sub.add_parser(
+        "fuse", help="plan adapter generation with the fusion oracle"
+    )
+    fuse.add_argument(
+        "--items", required=True,
+        help="spec like family:count:floor[,family:count:floor...]",
+    )
+
+    tiling = sub.add_parser("tiling-search",
+                            help="run Algorithm 2 and summarize")
+    tiling.add_argument("--dim", type=int, default=4096)
+    tiling.add_argument("--rank", type=int, default=64)
+    tiling.add_argument("--gpu", default="A100-80GB", choices=list_gpus())
+
+    report = sub.add_parser(
+        "report", help="summarize results/ written by the benches"
+    )
+    report.add_argument("--results-dir", default="results")
+
+    trace = sub.add_parser("trace", help="generate or inspect trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    gen = trace_sub.add_parser("generate")
+    _common_serving_args(gen)
+    gen.add_argument("--out", required=True)
+    stats = trace_sub.add_parser("stats")
+    stats.add_argument("--path", required=True)
+    return parser
+
+
+def _common_serving_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="retrieval",
+                        choices=("retrieval", "video"))
+    parser.add_argument("--model", default="Qwen-VL-7B",
+                        choices=list_models())
+    parser.add_argument("--rate", type=float, default=6.0,
+                        help="requests/s (retrieval) or streams (video)")
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--adapters", type=int, default=8)
+    parser.add_argument("--skew", type=float, default=0.6)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_workload(args, system: str) -> list:
+    builder_ids = [f"lora-{i}" for i in range(args.adapters)]
+    heads = system == "v-lora"
+    if args.workload == "retrieval":
+        return RetrievalWorkload(
+            builder_ids, rate_rps=args.rate, duration_s=args.duration,
+            top_adapter_share=args.skew, use_task_heads=heads,
+            seed=args.seed,
+        ).generate()
+    return VideoAnalyticsWorkload(
+        builder_ids, num_streams=max(1, int(args.rate)),
+        duration_s=args.duration, use_task_heads=heads, seed=args.seed,
+    ).generate()
+
+
+def cmd_systems(_args) -> int:
+    print("serving systems (see repro.core.builder for the part matrix):")
+    parts = {
+        "v-lora": "ATMM + Algorithm 1 + swift switcher + prefix reuse",
+        "s-lora": "S-LoRA kernel + unmerged-only FCFS",
+        "punica": "Punica kernel + unmerged-only FCFS (per-request prefill)",
+        "dlora": "Einsum + merged/unmerged switching (slow switcher)",
+        "merge-only": "ATMM + merged-only (ablation)",
+        "unmerge-only": "ATMM + unmerged-only (ablation)",
+    }
+    for name in SYSTEM_NAMES:
+        print(f"  {name:<14} {parts[name]}")
+    return 0
+
+
+def cmd_models(_args) -> int:
+    print(f"{'model':<16}{'layers':>8}{'dim':>8}{'params':>10}{'weights':>10}")
+    for name in list_models():
+        m = get_model(name)
+        print(f"{m.name:<16}{m.num_layers:>8}{m.hidden_dim:>8}"
+              f"{m.total_params / 1e9:>9.2f}B"
+              f"{m.weight_bytes / 2**30:>9.1f}G")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    builder = SystemBuilder(model=get_model(args.model),
+                            num_adapters=args.adapters,
+                            jitter_seed=args.seed)
+    engine = builder.build(args.system)
+    if args.trace_in:
+        requests = load_trace(args.trace_in)
+    else:
+        requests = _make_workload(args, args.system)
+    if args.trace_out:
+        save_trace(args.trace_out, requests)
+        print(f"trace saved to {args.trace_out} ({len(requests)} requests)")
+    engine.submit(requests)
+    metrics = engine.run()
+    summary = metrics.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"system={args.system} model={args.model} "
+              f"workload={args.workload} load={args.rate}")
+        for key, value in summary.items():
+            print(f"  {key:>24}: {value:.4f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rates = [float(r) for r in args.rates.split(",") if r]
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    builder = SystemBuilder(model=get_model(args.model),
+                            num_adapters=args.adapters,
+                            jitter_seed=args.seed)
+    runner = SweepRunner(builder, systems=systems)
+
+    def factory(rate, system):
+        args_copy = argparse.Namespace(**vars(args))
+        args_copy.rate = rate
+        return _make_workload(args_copy, system)
+
+    sweep = runner.run("rate_rps", rates, factory)
+    metric = "avg_token_latency_ms"
+    series = {s: sweep.series(s, metric) for s in systems}
+    print(line_chart(series, title=f"{metric} vs rate",
+                     x_label="requests/s", y_label="ms/token"))
+    if "v-lora" in systems and len(systems) > 1:
+        comparison = SystemComparison(sweep, reference="v-lora",
+                                      metric=metric)
+        print("\nV-LoRA reduction vs baselines:")
+        for baseline, text in comparison.summary().items():
+            print(f"  {baseline:<12} {text}")
+    return 0
+
+
+def cmd_fuse(args) -> int:
+    items: List[KnowledgeItem] = []
+    for chunk in args.items.split(","):
+        try:
+            family, count, floor = chunk.split(":")
+            for i in range(int(count)):
+                items.append(KnowledgeItem(
+                    f"{family}-{i}", family, float(floor)
+                ))
+        except ValueError:
+            print(f"bad item spec {chunk!r}; expected family:count:floor",
+                  file=sys.stderr)
+            return 2
+    result = KnowledgeFusion(OracleEvaluator()).fuse(items)
+    print(f"{len(items)} items -> {result.num_adapters} adapters "
+          f"({result.num_rollbacks} rollbacks)")
+    for adapter in result.adapters:
+        names = ", ".join(i.name for i in adapter.items)
+        worst = min(adapter.achieved.values())
+        print(f"  {adapter.adapter_id}: [{names}] min accuracy {worst:.3f}")
+    if result.violations:
+        print(f"  unsatisfiable floors: {result.violations}")
+    return 0
+
+
+def cmd_tiling_search(args) -> int:
+    from repro.kernels.search import TilingSearch
+
+    gpu = get_gpu(args.gpu)
+    search = TilingSearch(gpu, coarse=False)
+    pairs = search.kn_pairs_for_model([args.dim], [args.rank])
+    table, report = search.search(pairs, max_m=8192)
+    print(f"gpu={gpu.name} configs={report.num_configs} "
+          f"shapes={report.num_shapes} profiles={report.num_profiles} "
+          f"winners={report.distinct_winners} entries={len(table)}")
+    lat = {
+        f"m={m}": table.profiled_latency(m, args.dim, args.rank) * 1e6
+        for m in search.m_buckets(8192)
+    }
+    print(bar_chart(lat, title="optimal shrink-GEMM latency per bucket",
+                    unit="us"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import render_report
+
+    try:
+        print(render_report(args.results_dir))
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.trace_command == "generate":
+        requests = _make_workload(args, "v-lora")
+        save_trace(args.out, requests)
+        print(f"wrote {len(requests)} requests to {args.out}")
+        return 0
+    stats = trace_stats(load_trace(args.path))
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {
+    "systems": cmd_systems,
+    "models": cmd_models,
+    "serve": cmd_serve,
+    "compare": cmd_compare,
+    "fuse": cmd_fuse,
+    "tiling-search": cmd_tiling_search,
+    "report": cmd_report,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

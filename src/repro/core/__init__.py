@@ -1,0 +1,20 @@
+"""V-LoRA's end-to-end facade and the system builder.
+
+* :mod:`repro.core.builder` — assembles a complete serving engine
+  (operator + policy + switcher + memory) for V-LoRA or any baseline by
+  name; every benchmark builds its systems through this single factory.
+* :mod:`repro.core.vlora` — the :class:`VLoRA` end-to-end system:
+  offline phase (accuracy-aware adapter generation) + online phase
+  (orchestrated serving).
+"""
+
+from repro.core.builder import SYSTEM_NAMES, SystemBuilder, build_engine
+from repro.core.vlora import VLoRA, VLoRAConfig
+
+__all__ = [
+    "SystemBuilder",
+    "build_engine",
+    "SYSTEM_NAMES",
+    "VLoRA",
+    "VLoRAConfig",
+]

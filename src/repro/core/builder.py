@@ -1,0 +1,181 @@
+"""System builder: one factory for V-LoRA and every baseline.
+
+Each serving system is the same engine with different pluggable parts
+(§6.1 "Baselines"):
+
+========== ================== ==================== ===================
+system      LoRA operator      scheduling policy    mode switcher
+========== ================== ==================== ===================
+v-lora      ATMM               Algorithm 1          swift (one-shot)
+s-lora      S-LoRA kernel      unmerged-only FCFS   (never switches)
+punica      Punica kernel      unmerged-only FCFS   (never switches)
+dlora       Einsum             merged/unmerged      per-layer addmm
+merge-only  ATMM               merged-only          swift
+unmerge-only ATMM              unmerged-only FCFS   swift
+========== ================== ==================== ===================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.hardware.gpu import A100_80GB, GPUSpec
+from repro.hardware.memory import TransferModel
+from repro.kernels.atmm import ATMMOperator
+from repro.kernels.base import LoRAOperator
+from repro.kernels.baseline_ops import (
+    EinsumOperator,
+    PunicaOperator,
+    SLoRAOperator,
+)
+from repro.kernels.cost_model import GemmCostModel
+from repro.models.config import QWEN_VL_7B, ModelConfig
+from repro.models.lora import LoRAAdapterSpec
+from repro.runtime.adapters import AdapterManager
+from repro.runtime.engine import EngineConfig, ServingEngine
+from repro.runtime.memory import UnifiedMemoryManager
+from repro.runtime.scheduler import (
+    DLoRAPolicy,
+    MergedOnlyPolicy,
+    SchedulingPolicy,
+    UnmergedOnlyPolicy,
+    VLoRAPolicy,
+)
+from repro.runtime.switcher import DLoRASwitcher, ModeSwitcher, SwiftSwitcher
+
+SYSTEM_NAMES = (
+    "v-lora", "s-lora", "punica", "dlora", "merge-only", "unmerge-only",
+)
+
+
+@dataclass
+class SystemBuilder:
+    """Reusable configuration for constructing serving engines."""
+
+    model: ModelConfig = QWEN_VL_7B
+    gpu: GPUSpec = A100_80GB
+    num_adapters: int = 4
+    adapter_rank: int = 64
+    gpu_adapter_slots: Optional[int] = None
+    max_batch_size: int = 32
+    theta: float = 0.5
+    num_projections: int = 2
+    tensor_parallel: int = 1
+    jitter_seed: Optional[int] = 0
+    enable_prefix_reuse: bool = True
+    adapter_specs: Sequence[LoRAAdapterSpec] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_adapters <= 0:
+            raise ValueError("num_adapters must be positive")
+        if not self.adapter_specs:
+            self.adapter_specs = tuple(
+                LoRAAdapterSpec(f"lora-{i}", self.model, rank=self.adapter_rank)
+                for i in range(self.num_adapters)
+            )
+        else:
+            self.adapter_specs = tuple(self.adapter_specs)
+            self.num_adapters = len(self.adapter_specs)
+        if self.gpu_adapter_slots is None:
+            self.gpu_adapter_slots = min(self.num_adapters, 16)
+
+    @property
+    def adapter_ids(self) -> list:
+        return [s.adapter_id for s in self.adapter_specs]
+
+    # -- part selection -------------------------------------------------------
+
+    def _operator(self, system: str, cost_model: GemmCostModel) -> LoRAOperator:
+        if system in ("v-lora", "merge-only", "unmerge-only"):
+            return ATMMOperator(
+                cost_model,
+                hidden_dims=(self.model.hidden_dim,),
+                ranks=tuple(sorted({s.rank for s in self.adapter_specs})),
+            )
+        if system == "s-lora":
+            return SLoRAOperator(cost_model)
+        if system == "punica":
+            return PunicaOperator(cost_model)
+        if system == "dlora":
+            return EinsumOperator(cost_model)
+        raise ValueError(
+            f"unknown system {system!r}; expected one of {SYSTEM_NAMES}"
+        )
+
+    def _policy(self, system: str) -> SchedulingPolicy:
+        if system == "v-lora":
+            return VLoRAPolicy(theta=self.theta)
+        if system in ("s-lora", "punica", "unmerge-only"):
+            return UnmergedOnlyPolicy()
+        if system == "dlora":
+            return DLoRAPolicy()
+        if system == "merge-only":
+            return MergedOnlyPolicy()
+        raise ValueError(f"unknown system {system!r}")
+
+    def _switcher(self, system: str, operator: LoRAOperator,
+                  cost_model: GemmCostModel) -> ModeSwitcher:
+        if system == "dlora":
+            return DLoRASwitcher(
+                self.model, cost_model, num_projections=self.num_projections
+            )
+        atmm = (
+            operator if isinstance(operator, ATMMOperator)
+            else ATMMOperator(cost_model)
+        )
+        return SwiftSwitcher(
+            self.model, atmm, num_projections=self.num_projections
+        )
+
+    # -- assembly --------------------------------------------------------------------
+
+    def build(self, system: str) -> ServingEngine:
+        """Construct a fresh engine for the named system."""
+        system = system.lower()
+        if system == "vlora":
+            system = "v-lora"
+        cost_model = GemmCostModel(self.gpu)
+        operator = self._operator(system, cost_model)
+        policy = self._policy(system)
+        switcher = self._switcher(system, operator, cost_model)
+        transfer = TransferModel(self.gpu)
+        adapters = AdapterManager(
+            self.adapter_specs,
+            gpu_slots=self.gpu_adapter_slots,
+            transfer_model=transfer,
+            async_swap=(system == "v-lora"),
+        )
+        memory = UnifiedMemoryManager(
+            self.model, self.gpu,
+            adapter_slots=self.gpu_adapter_slots,
+            adapter_spec=self.adapter_specs[0],
+            tp_degree=self.tensor_parallel,
+        )
+        config = EngineConfig(
+            max_batch_size=self.max_batch_size,
+            num_projections=self.num_projections,
+            enable_prefix_reuse=(
+                self.enable_prefix_reuse and system == "v-lora"
+            ),
+            jitter_seed=self.jitter_seed,
+            # Punica's decode-centric runtime (BGMV) prefills requests
+            # one at a time; every other system batches prefills.
+            batch_prefills=(system != "punica"),
+            tensor_parallel=self.tensor_parallel,
+        )
+        return ServingEngine(
+            model=self.model,
+            gpu=self.gpu,
+            operator=operator,
+            policy=policy,
+            switcher=switcher,
+            adapter_manager=adapters,
+            memory=memory,
+            config=config,
+        )
+
+
+def build_engine(system: str, **kwargs) -> ServingEngine:
+    """One-shot convenience: ``build_engine("v-lora", num_adapters=8)``."""
+    return SystemBuilder(**kwargs).build(system)

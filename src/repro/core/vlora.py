@@ -1,0 +1,160 @@
+"""The V-LoRA end-to-end system (Fig. 8).
+
+Offline phase: :meth:`VLoRA.prepare_adapters` runs the accuracy-aware
+knowledge-fusion algorithm over the application's knowledge items and
+registers the resulting adapters (bundling vision task heads where the
+fused knowledge shares a task type, §4.2.2).
+
+Online phase: :meth:`VLoRA.serve` runs the orchestrated engine (ATMM +
+Algorithm 1 + swift switcher) over a request stream and returns metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.generation.fusion import (
+    AccuracyEvaluator,
+    FusionResult,
+    KnowledgeFusion,
+    KnowledgeItem,
+    OracleEvaluator,
+)
+from repro.generation.heads import TASK_PROFILES
+from repro.hardware.gpu import A100_80GB, GPUSpec
+from repro.models.config import QWEN_VL_7B, ModelConfig
+from repro.models.lora import LoRAAdapterSpec
+from repro.runtime.engine import ServingEngine
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.request import Request
+from repro.core.builder import SystemBuilder
+
+#: Task-family -> head cardinality for bundled vision task heads.
+_FAMILY_HEAD_CLASSES = {
+    "image_classification": 64,
+    "object_detection": 96,
+    "video_classification": 101,
+    "referring_expression": 64,
+}
+
+
+@dataclass
+class VLoRAConfig:
+    """Deployment configuration for one V-LoRA instance."""
+
+    model: ModelConfig = QWEN_VL_7B
+    gpu: GPUSpec = A100_80GB
+    adapter_rank: int = 64
+    max_batch_size: int = 32
+    theta: float = 0.5
+    gpu_adapter_slots: Optional[int] = None
+    seed: int = 0
+
+
+class VLoRA:
+    """End-to-end facade: adapter generation + orchestrated serving."""
+
+    def __init__(self, config: Optional[VLoRAConfig] = None):
+        self.config = config or VLoRAConfig()
+        self._fusion_result: Optional[FusionResult] = None
+        self._adapter_specs: List[LoRAAdapterSpec] = []
+        self._engine: Optional[ServingEngine] = None
+
+    # -- offline phase -----------------------------------------------------------
+
+    def prepare_adapters(
+        self,
+        items: Sequence[KnowledgeItem],
+        evaluator: Optional[AccuracyEvaluator] = None,
+    ) -> FusionResult:
+        """Run accuracy-aware knowledge fusion and register the adapters.
+
+        With no ``evaluator`` the calibrated oracle plans the packing
+        (serving-scale default); pass a
+        :class:`~repro.generation.fusion.TrainerEvaluator` to fuse with
+        real TinyLMM training.
+        """
+        fusion = KnowledgeFusion(evaluator or OracleEvaluator())
+        result = fusion.fuse(items)
+        self._fusion_result = result
+        self._adapter_specs = [
+            self._spec_for(adapter) for adapter in result.adapters
+        ]
+        self._engine = None  # adapters changed; engine must be rebuilt
+        return result
+
+    def register_adapters(self, specs: Sequence[LoRAAdapterSpec]) -> None:
+        """Register pre-built adapters, skipping the fusion step."""
+        if not specs:
+            raise ValueError("need at least one adapter spec")
+        self._adapter_specs = list(specs)
+        self._engine = None
+
+    def _spec_for(self, adapter) -> LoRAAdapterSpec:
+        families = {i.family_name for i in adapter.items}
+        head_classes = 0
+        if len(families) == 1:
+            # All fused knowledge shares a task type: bundle a task head.
+            head_classes = _FAMILY_HEAD_CLASSES.get(next(iter(families)), 0)
+        return LoRAAdapterSpec(
+            adapter_id=adapter.adapter_id,
+            model=self.config.model,
+            rank=self.config.adapter_rank,
+            task_head_classes=head_classes,
+        )
+
+    @property
+    def adapter_specs(self) -> List[LoRAAdapterSpec]:
+        if not self._adapter_specs:
+            raise RuntimeError(
+                "no adapters registered; run prepare_adapters() first"
+            )
+        return list(self._adapter_specs)
+
+    @property
+    def adapter_ids(self) -> List[str]:
+        return [s.adapter_id for s in self.adapter_specs]
+
+    @property
+    def fusion_result(self) -> FusionResult:
+        if self._fusion_result is None:
+            raise RuntimeError("prepare_adapters() has not run")
+        return self._fusion_result
+
+    # -- online phase -----------------------------------------------------------------
+
+    def engine(self) -> ServingEngine:
+        """The (lazily built) orchestrated serving engine."""
+        if self._engine is None:
+            builder = SystemBuilder(
+                model=self.config.model,
+                gpu=self.config.gpu,
+                adapter_specs=self.adapter_specs,
+                adapter_rank=self.config.adapter_rank,
+                max_batch_size=self.config.max_batch_size,
+                theta=self.config.theta,
+                gpu_adapter_slots=self.config.gpu_adapter_slots,
+                jitter_seed=self.config.seed,
+            )
+            self._engine = builder.build("v-lora")
+        return self._engine
+
+    def serve(self, requests: Sequence[Request],
+              until: Optional[float] = None) -> MetricsCollector:
+        """Serve a request stream to completion; returns the metrics."""
+        engine = self.engine()
+        engine.submit(list(requests))
+        return engine.run(until=until)
+
+    def resolve_adapter(self, task_name: str,
+                        routing: Dict[str, str]) -> str:
+        """Map a task to its adapter via an application routing table."""
+        if task_name not in TASK_PROFILES:
+            raise KeyError(f"unknown task {task_name!r}")
+        adapter = routing.get(task_name)
+        if adapter is None or adapter not in self.adapter_ids:
+            raise KeyError(
+                f"no registered adapter routed for task {task_name!r}"
+            )
+        return adapter

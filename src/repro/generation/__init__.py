@@ -1,0 +1,69 @@
+"""Accuracy-aware LoRA adapter generation (§4.2) and its substrates.
+
+* :mod:`repro.generation.datasets` — synthetic domain-specific vision
+  datasets with task-family-controlled interference (the knob behind
+  Fig. 5's task-dependent fusion capacity).
+* :mod:`repro.generation.small_models` — domain-specific small models
+  (the YOLO/OSCAR/... stand-ins) trained per domain.
+* :mod:`repro.generation.trainer` — LoRA fine-tuning loop over one or
+  more domains.
+* :mod:`repro.generation.fusion` — the accuracy-aware knowledge-fusion
+  algorithm (greedy constrained bin packing, Fig. 9/10), usable against
+  the real trainer or the calibrated oracle.
+* :mod:`repro.generation.oracle` — a calibrated fusion-accuracy oracle
+  for serving-scale experiments where training real adapters would be
+  wasteful.
+* :mod:`repro.generation.heads` — vision-task head profiles: decode
+  rounds through the LM head vs. one round through a task head (§4.2.2).
+"""
+
+from repro.generation.datasets import (
+    IMAGE_CLASSIFICATION,
+    OBJECT_DETECTION,
+    TASK_FAMILIES,
+    VIDEO_CLASSIFICATION,
+    DomainDataset,
+    TaskFamily,
+    make_domain,
+    make_domains,
+)
+from repro.generation.small_models import SmallModel, train_small_model
+from repro.generation.trainer import EvalResult, LoRATrainer, pretrain_base
+from repro.generation.fusion import (
+    AccuracyEvaluator,
+    FusedAdapter,
+    FusionResult,
+    KnowledgeFusion,
+    KnowledgeItem,
+    OracleEvaluator,
+    TrainerEvaluator,
+)
+from repro.generation.oracle import FusionAccuracyOracle
+from repro.generation.heads import TASK_PROFILES, TaskProfile, get_task_profile
+
+__all__ = [
+    "TaskFamily",
+    "DomainDataset",
+    "IMAGE_CLASSIFICATION",
+    "OBJECT_DETECTION",
+    "VIDEO_CLASSIFICATION",
+    "TASK_FAMILIES",
+    "make_domain",
+    "make_domains",
+    "SmallModel",
+    "train_small_model",
+    "LoRATrainer",
+    "EvalResult",
+    "pretrain_base",
+    "KnowledgeFusion",
+    "KnowledgeItem",
+    "FusedAdapter",
+    "FusionResult",
+    "AccuracyEvaluator",
+    "TrainerEvaluator",
+    "OracleEvaluator",
+    "FusionAccuracyOracle",
+    "TaskProfile",
+    "TASK_PROFILES",
+    "get_task_profile",
+]

@@ -1,0 +1,119 @@
+"""Data augmentation for domain datasets (the paper's "data enhancement").
+
+§3.1: "we only validated the potential gain without fully exploring
+advanced training techniques like data enhancement [92, VideoMix] ...
+these techniques could further improve accuracy in future work."  This
+module provides that future work for the synthetic substrate:
+
+* :func:`mixup` — convex sample mixing (labels follow the dominant
+  component, mirroring hard-label training on mixed inputs);
+* :func:`videomix` — temporal cut-mix for patch/frame sequences: splice
+  the tail frames of one clip onto another;
+* :func:`noise_jitter` — additive feature noise;
+* :func:`augment_domain` — dataset-level wrapper producing an enlarged
+  :class:`~repro.generation.datasets.DomainDataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.generation.datasets import DomainDataset
+
+
+def mixup(
+    x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
+    alpha: float = 0.3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convex mixing of random sample pairs.
+
+    Returns mixed inputs with the label of the dominant component (this
+    substrate trains with hard labels).
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    n = x.shape[0]
+    lam = rng.beta(alpha, alpha, size=n).astype(np.float32)
+    # Keep the first component dominant so its label stays correct.
+    lam = np.maximum(lam, 1.0 - lam)
+    partner = rng.permutation(n)
+    mixed = lam[:, None, None] * x + (1.0 - lam[:, None, None]) * x[partner]
+    return mixed.astype(np.float32), y.copy()
+
+
+def videomix(
+    x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
+    max_cut_fraction: float = 0.4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Temporal cut-mix: replace each clip's tail frames with another's.
+
+    The cut stays below half the clip so the (dominant) original label
+    remains correct — the VideoMix recipe for hard-label pipelines.
+    """
+    if not 0.0 < max_cut_fraction <= 0.5:
+        raise ValueError(
+            f"max_cut_fraction must be in (0, 0.5], got {max_cut_fraction}"
+        )
+    n, patches, _ = x.shape
+    out = x.copy()
+    partner = rng.permutation(n)
+    for i in range(n):
+        cut = int(rng.integers(0, max(int(patches * max_cut_fraction), 1) + 1))
+        if cut:
+            out[i, patches - cut:] = x[partner[i], patches - cut:]
+    return out.astype(np.float32), y.copy()
+
+
+def noise_jitter(
+    x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
+    scale: float = 0.1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Additive Gaussian feature jitter."""
+    if scale < 0:
+        raise ValueError(f"scale must be >= 0, got {scale}")
+    return (x + rng.normal(0.0, scale, x.shape)).astype(np.float32), y.copy()
+
+
+_STRATEGIES = {
+    "mixup": mixup,
+    "videomix": videomix,
+    "noise": noise_jitter,
+}
+
+
+def augment_domain(
+    domain: DomainDataset,
+    strategy: str = "mixup",
+    copies: int = 1,
+    seed: int = 0,
+    **kwargs,
+) -> DomainDataset:
+    """Enlarge a domain's training split with augmented copies.
+
+    The test split is never augmented.  Returns a new dataset named
+    ``<name>+<strategy>``.
+    """
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    fn = _STRATEGIES.get(strategy)
+    if fn is None:
+        raise KeyError(
+            f"unknown strategy {strategy!r}; known: {sorted(_STRATEGIES)}"
+        )
+    rng = np.random.default_rng(seed)
+    xs, ys = [domain.train_x], [domain.train_y]
+    for _ in range(copies):
+        ax, ay = fn(domain.train_x, domain.train_y, rng, **kwargs)
+        xs.append(ax)
+        ys.append(ay)
+    return DomainDataset(
+        name=f"{domain.name}+{strategy}",
+        family=domain.family,
+        prompt_id=domain.prompt_id,
+        train_x=np.concatenate(xs, axis=0),
+        train_y=np.concatenate(ys, axis=0),
+        test_x=domain.test_x.copy(),
+        test_y=domain.test_y.copy(),
+    )

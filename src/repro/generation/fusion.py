@@ -1,0 +1,232 @@
+"""Accuracy-aware knowledge-fusion algorithm (§4.2.1, Figs. 9-10).
+
+Packing external knowledge (domains distilled from small models or
+provided as datasets) into the minimum number of LoRA adapters subject to
+per-task accuracy floors is a constrained bin-packing problem; the paper
+solves it with a greedy, accuracy-aware heuristic:
+
+1. start a fresh adapter, fuse domains into it one by one (re-training on
+   the union each time);
+2. if fusing a domain drives *any* packed domain below its requirement,
+   roll the adapter's weights back, seal the adapter, and start a new one
+   seeded with the offending domain.
+
+The algorithm is generic over an :class:`AccuracyEvaluator`, so the same
+code runs against real TinyLMM training (:class:`TrainerEvaluator`) or
+the calibrated oracle (:class:`OracleEvaluator`) for serving-scale runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.generation.datasets import DomainDataset
+from repro.generation.oracle import FusionAccuracyOracle
+from repro.generation.trainer import LoRATrainer
+
+
+@dataclass(frozen=True)
+class KnowledgeItem:
+    """One unit of external knowledge to pack: a domain + accuracy floor."""
+
+    name: str
+    family_name: str
+    required_accuracy: float
+    dataset: Optional[DomainDataset] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.required_accuracy <= 1.0:
+            raise ValueError(
+                f"required_accuracy must be in [0,1], got "
+                f"{self.required_accuracy}"
+            )
+
+
+@dataclass
+class FusedAdapter:
+    """One sealed LoRA adapter with the knowledge packed into it."""
+
+    adapter_id: str
+    items: List[KnowledgeItem]
+    achieved: Dict[str, float]
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.items)
+
+    def meets_requirements(self) -> bool:
+        return all(
+            self.achieved.get(i.name, 0.0) >= i.required_accuracy
+            for i in self.items
+        )
+
+
+@dataclass
+class FusionResult:
+    """Output of one fusion run."""
+
+    adapters: List[FusedAdapter]
+    num_rollbacks: int = 0
+    num_evaluations: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def num_adapters(self) -> int:
+        return len(self.adapters)
+
+    @property
+    def mean_domains_per_adapter(self) -> float:
+        if not self.adapters:
+            return 0.0
+        return sum(a.num_domains for a in self.adapters) / len(self.adapters)
+
+
+class AccuracyEvaluator(abc.ABC):
+    """Backend answering "what accuracy would this adapter achieve?"."""
+
+    @abc.abstractmethod
+    def begin_adapter(self) -> None:
+        """Start a fresh (empty) adapter."""
+
+    @abc.abstractmethod
+    def try_fuse(
+        self, fused: Sequence[KnowledgeItem], new_item: KnowledgeItem
+    ) -> Dict[str, float]:
+        """Tentatively fuse ``new_item`` with ``fused``; return per-item
+        accuracy of the resulting adapter (including ``new_item``)."""
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Keep the tentative fuse."""
+
+    @abc.abstractmethod
+    def rollback(self) -> None:
+        """Discard the tentative fuse, restoring the pre-fuse adapter."""
+
+
+class TrainerEvaluator(AccuracyEvaluator):
+    """Real-training backend over a TinyLMM with an installed adapter."""
+
+    def __init__(self, trainer: LoRATrainer, head_name: Optional[str] = None):
+        self.trainer = trainer
+        self.head_name = head_name
+        self._pre_fuse_snapshot = None
+
+    def begin_adapter(self) -> None:
+        self.trainer.model.lora_reset(self.trainer.rng)
+        self._pre_fuse_snapshot = None
+
+    def try_fuse(self, fused, new_item) -> Dict[str, float]:
+        datasets = [i.dataset for i in (*fused, new_item)]
+        if any(d is None for d in datasets):
+            raise ValueError("TrainerEvaluator needs datasets on every item")
+        self._pre_fuse_snapshot = self.trainer.model.lora_snapshot()
+        self.trainer.train(datasets, head_name=self.head_name)
+        result = self.trainer.evaluate(datasets, head_name=self.head_name)
+        return {
+            item.name: result.per_domain[item.dataset.name]
+            for item in (*fused, new_item)
+        }
+
+    def commit(self) -> None:
+        self._pre_fuse_snapshot = None
+
+    def rollback(self) -> None:
+        if self._pre_fuse_snapshot is None:
+            raise RuntimeError("nothing to roll back")
+        self.trainer.model.lora_load(self._pre_fuse_snapshot)
+        self._pre_fuse_snapshot = None
+
+
+class OracleEvaluator(AccuracyEvaluator):
+    """Calibrated-oracle backend for serving-scale fusion planning."""
+
+    def __init__(self, oracle: Optional[FusionAccuracyOracle] = None):
+        self.oracle = oracle or FusionAccuracyOracle()
+        self._committed: List[KnowledgeItem] = []
+        self._tentative: Optional[List[KnowledgeItem]] = None
+
+    def begin_adapter(self) -> None:
+        self._committed = []
+        self._tentative = None
+
+    def try_fuse(self, fused, new_item) -> Dict[str, float]:
+        items = [*fused, new_item]
+        self._tentative = items
+        return {
+            item.name: self.oracle.accuracy(item.family_name, len(items),
+                                            salt=item.name)
+            for item in items
+        }
+
+    def commit(self) -> None:
+        if self._tentative is None:
+            raise RuntimeError("nothing to commit")
+        self._committed = self._tentative
+        self._tentative = None
+
+    def rollback(self) -> None:
+        self._tentative = None
+
+
+class KnowledgeFusion:
+    """The greedy accuracy-aware packer."""
+
+    def __init__(self, evaluator: AccuracyEvaluator,
+                 adapter_prefix: str = "lora"):
+        self.evaluator = evaluator
+        self.adapter_prefix = adapter_prefix
+
+    def fuse(self, items: Sequence[KnowledgeItem]) -> FusionResult:
+        """Pack ``items`` (in order) into the minimum adapters the greedy
+        heuristic finds.
+
+        A domain that cannot meet its requirement even alone is recorded
+        in ``result.violations`` but still gets its own adapter (best
+        effort), mirroring the paper's worst case of one adapter per
+        dataset.
+        """
+        if not items:
+            raise ValueError("need at least one knowledge item")
+        result = FusionResult(adapters=[])
+        current: List[KnowledgeItem] = []
+        current_accs: Dict[str, float] = {}
+        self.evaluator.begin_adapter()
+
+        def seal() -> None:
+            if current:
+                result.adapters.append(FusedAdapter(
+                    adapter_id=f"{self.adapter_prefix}-{len(result.adapters)}",
+                    items=list(current),
+                    achieved=dict(current_accs),
+                ))
+
+        for item in items:
+            accs = self.evaluator.try_fuse(current, item)
+            result.num_evaluations += 1
+            ok = all(
+                accs[i.name] >= i.required_accuracy
+                for i in (*current, item)
+            )
+            if ok:
+                self.evaluator.commit()
+                current.append(item)
+                current_accs = accs
+                continue
+            # Roll back, seal the adapter, start fresh with this item.
+            self.evaluator.rollback()
+            result.num_rollbacks += 1
+            seal()
+            current, current_accs = [], {}
+            self.evaluator.begin_adapter()
+            accs = self.evaluator.try_fuse([], item)
+            result.num_evaluations += 1
+            self.evaluator.commit()
+            current = [item]
+            current_accs = accs
+            if accs[item.name] < item.required_accuracy:
+                result.violations.append(item.name)
+        seal()
+        return result

@@ -1,0 +1,115 @@
+"""Vision-task profiles: token shapes and head round counts (§4.2.2, Appx. C).
+
+A task answered through the **LM head** decodes autoregressively — one
+round per answer token.  A task answered through its **vision task head**
+(a linear layer bundled with the adapter) emits the full answer in a
+single round, because most vision-task outputs are a small discrete set
+(action classes, vehicle counts, binary target queries).
+
+Token counts follow §6.2: video understanding feeds 6 x 256-token frames
+and emits 5-10 tokens through the LM head; VQA feeds ~256 and emits 200+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """Serving-relevant shape of one vision task.
+
+    Attributes
+    ----------
+    name:
+        Task name (the five evaluation tasks of §6.1).
+    application:
+        "visual_retrieval" or "video_analytics".
+    input_tokens:
+        Prompt + visual tokens per request.
+    output_tokens_lm:
+        Decode rounds when answering through the LM head.
+    num_classes:
+        Cardinality of the task head's output (0 = LM-head only task).
+    images_per_request:
+        Images entering the vision encoder per request.
+    """
+
+    name: str
+    application: str
+    input_tokens: int
+    output_tokens_lm: int
+    num_classes: int = 0
+    images_per_request: int = 1
+
+    def __post_init__(self) -> None:
+        if self.application not in ("visual_retrieval", "video_analytics"):
+            raise ValueError(
+                f"unknown application {self.application!r}"
+            )
+        if self.input_tokens <= 0 or self.output_tokens_lm <= 0:
+            raise ValueError("token counts must be positive")
+
+    @property
+    def supports_task_head(self) -> bool:
+        return self.num_classes > 0
+
+    def decode_rounds(self, use_task_head: bool) -> int:
+        """Decode rounds a request of this task needs."""
+        if use_task_head:
+            if not self.supports_task_head:
+                raise ValueError(
+                    f"task {self.name!r} has no task head (LM-head only)"
+                )
+            return 1
+        return self.output_tokens_lm
+
+
+TASK_PROFILES: Dict[str, TaskProfile] = {
+    "visual_qa": TaskProfile(
+        name="visual_qa", application="visual_retrieval",
+        input_tokens=256 + 32, output_tokens_lm=200,
+        num_classes=0,
+    ),
+    "image_caption": TaskProfile(
+        name="image_caption", application="visual_retrieval",
+        input_tokens=256 + 16, output_tokens_lm=64,
+        num_classes=0,
+    ),
+    "referring_expression": TaskProfile(
+        name="referring_expression", application="visual_retrieval",
+        input_tokens=256 + 24, output_tokens_lm=24,
+        num_classes=64,          # quantized box grid
+    ),
+    "object_detection": TaskProfile(
+        name="object_detection", application="video_analytics",
+        input_tokens=256 + 16, output_tokens_lm=32,
+        num_classes=96,          # class x coarse location
+    ),
+    "video_understanding": TaskProfile(
+        name="video_understanding", application="video_analytics",
+        input_tokens=6 * 256 + 24, output_tokens_lm=8,
+        num_classes=101,         # UCF-101 actions
+        images_per_request=6,
+    ),
+}
+
+
+def get_task_profile(name: str) -> TaskProfile:
+    """Look up a task profile by name."""
+    try:
+        return TASK_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(TASK_PROFILES))
+        raise KeyError(f"unknown task {name!r}; known tasks: {known}") from None
+
+
+def application_tasks(application: str) -> Tuple[TaskProfile, ...]:
+    """All task profiles belonging to one application."""
+    tasks = tuple(
+        p for p in TASK_PROFILES.values() if p.application == application
+    )
+    if not tasks:
+        raise ValueError(f"unknown application {application!r}")
+    return tasks

@@ -1,0 +1,75 @@
+"""Domain-specific small models (the YOLO / OSCAR / ... stand-ins).
+
+A small model here is a two-layer MLP over mean-pooled patch features,
+trained on exactly one domain — the "existing small models trained on
+domain-specific datasets" of §2.  They are strong on their home domain
+and brittle off it, which is what Fig. 3's zero-shot comparison and the
+knowledge-fusion pipeline (Fig. 9: run representative data through the
+small model to collect a dataset) rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.generation.datasets import DomainDataset
+from repro.nn.layers import Linear, Module, cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+class SmallModel(Module):
+    """Two-layer MLP classifier over mean-pooled patch features."""
+
+    def __init__(self, feature_dim: int, num_classes: int, hidden: int = 64,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.fc1 = Linear(feature_dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, features: np.ndarray) -> Tensor:
+        pooled = np.asarray(features, dtype=np.float32).mean(axis=1)
+        return self.fc2(self.fc1(Tensor(pooled)).relu())
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        with no_grad():
+            logits = self.forward(features)
+        return float((logits.data.argmax(axis=1) == np.asarray(labels)).mean())
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard labels — used to *distill* the small model's knowledge
+        into a dataset for LoRA training (Fig. 9)."""
+        with no_grad():
+            logits = self.forward(features)
+        return logits.data.argmax(axis=1)
+
+
+def train_small_model(
+    dataset: DomainDataset,
+    steps: int = 150,
+    batch_size: int = 64,
+    lr: float = 3e-3,
+    seed: int = 0,
+) -> SmallModel:
+    """Train a small model on one domain; returns the trained model."""
+    if steps <= 0 or batch_size <= 0:
+        raise ValueError("steps and batch_size must be positive")
+    rng = np.random.default_rng(seed)
+    model = SmallModel(
+        dataset.family.feature_dim, dataset.family.num_classes, rng=rng
+    )
+    opt = Adam(model.trainable_parameters(), lr=lr)
+    n = dataset.num_train
+    for _ in range(steps):
+        idx = rng.integers(0, n, min(batch_size, n))
+        loss = cross_entropy(
+            model.forward(dataset.train_x[idx]), dataset.train_y[idx]
+        )
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return model

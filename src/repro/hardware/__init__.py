@@ -1,0 +1,35 @@
+"""Analytical GPU hardware model.
+
+This package substitutes for the physical NVIDIA A100 testbed the paper
+uses.  It exposes device specifications (:class:`~repro.hardware.gpu.GPUSpec`)
+and a memory-hierarchy transfer model (:mod:`repro.hardware.memory`) that
+the kernel cost model in :mod:`repro.kernels` consumes.
+"""
+
+from repro.hardware.gpu import (
+    A10,
+    A100_40GB,
+    A100_80GB,
+    H100_80GB,
+    GPUSpec,
+    get_gpu,
+    list_gpus,
+)
+from repro.hardware.memory import (
+    HostLink,
+    MemoryHierarchy,
+    TransferModel,
+)
+
+__all__ = [
+    "A10",
+    "A100_40GB",
+    "A100_80GB",
+    "H100_80GB",
+    "GPUSpec",
+    "get_gpu",
+    "list_gpus",
+    "HostLink",
+    "MemoryHierarchy",
+    "TransferModel",
+]

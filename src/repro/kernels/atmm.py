@@ -1,0 +1,137 @@
+"""ATMM: the Adaptive-Tiling Matrix Multiplication operator (§4.3).
+
+At runtime ATMM receives the concatenated activations of all requests in
+the batch plus the stacked adapter matrices, looks up the optimal tiling
+configuration for the *aggregate* input shape in the hash table built
+offline by :class:`~repro.kernels.search.TilingSearch`, and executes the
+pre-compiled kernel for that configuration.  Double buffering (modelled in
+the cost model via ``double_buffered=True``) hides tile loads behind math.
+
+Besides unmerged-inference batching, ATMM powers:
+
+* the **swift mode switcher** (§4.4.1) — all-layer ΔW = B x A computed in
+  one grouped launch, merged in-place (:meth:`ATMMOperator.delta_w_seconds`);
+* the **mixture (deLoRA) mode** (§4.4.2) — the deLoRA branch is just one
+  more adapter group in the grouped GEMM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.memory import FP16_BYTES
+from repro.kernels.base import LoRAOperator
+from repro.kernels.cost_model import GemmCostModel
+from repro.kernels.search import OptimalTilingTable, TilingSearch, default_table
+from repro.kernels.shapes import GemmShape, GroupedGemm
+
+
+class ATMMOperator(LoRAOperator):
+    """Adaptive-tiling grouped-GEMM operator."""
+
+    name = "ATMM"
+    #: §6.3.2 / Fig. 18 — ATMM is the most stable operator.
+    jitter_frac = 0.02
+
+    def __init__(
+        self,
+        cost_model: GemmCostModel,
+        table: Optional[OptimalTilingTable] = None,
+        hidden_dims: Sequence[int] = (4096,),
+        ranks: Sequence[int] = (16, 32, 64, 128),
+    ):
+        super().__init__(cost_model)
+        if table is None:
+            table = default_table(
+                cost_model.gpu, hidden_dims=hidden_dims, ranks=ranks
+            )
+        self.table = table
+        # Lazy searcher: a shape the offline sweep did not anticipate is
+        # profiled once on first sight and cached in the table, mirroring
+        # the paper's "compile kernels for every possible input shape"
+        # guarantee without enumerating the world up front.
+        self._searcher: Optional[TilingSearch] = None
+
+    @classmethod
+    def for_gpu(cls, gpu: GPUSpec, **kwargs) -> "ATMMOperator":
+        return cls(GemmCostModel(gpu), **kwargs)
+
+    # -- config selection -----------------------------------------------------
+
+    def select_config(self, grouped: GroupedGemm):
+        """Pick one launch-wide configuration for a grouped GEMM.
+
+        The hash table is keyed on single-GEMM shapes; for a grouped
+        launch ATMM keys on the aggregate token dimension (sum of group
+        Ms) with the group's K and max N — the shape that dominates both
+        the block count and the traffic.
+        """
+        total_m = sum(p.m for p in grouped.problems)
+        k = grouped.problems[0].k
+        n = grouped.max_n
+        return self._lookup(total_m, k, n)
+
+    def _lookup(self, m: int, k: int, n: int):
+        if not self.table.contains(m, k, n):
+            self._profile_into_table(m, k, n)
+        return self.table.lookup(m, k, n)
+
+    def _profile_into_table(self, m: int, k: int, n: int) -> None:
+        from repro.kernels.search import bucket_m, shape_key
+
+        if self._searcher is None:
+            self._searcher = TilingSearch(self.cost_model.gpu,
+                                          cost_model=self.cost_model,
+                                          coarse=True)
+        shape = GemmShape(bucket_m(m), k, n)
+        cfg, lat = self._searcher.profile_shape(shape)
+        self.table.insert(shape_key(shape.m, shape.k, shape.n), cfg, lat)
+
+    # -- LoRAOperator API -------------------------------------------------------
+
+    def pair_seconds(
+        self,
+        token_counts: Sequence[int],
+        ranks: Sequence[int],
+        hidden_dim: int,
+    ) -> float:
+        shrink, expand = self._grouped(token_counts, ranks, hidden_dim)
+        t = self.cost_model.grouped_seconds(shrink, self.select_config(shrink))
+        t += self.cost_model.grouped_seconds(expand, self.select_config(expand))
+        return t
+
+    # -- mode-switch support ------------------------------------------------------
+
+    def delta_w_seconds(
+        self,
+        num_layers: int,
+        hidden_dim: int,
+        rank: int,
+        num_projections: int = 4,
+        fuse_merge: bool = True,
+    ) -> float:
+        """One-shot all-layer ΔW = B x A, optionally fused with the merge add.
+
+        §4.4.1: the swift switcher computes the LoRA matrices of the
+        entire model and adds/subtracts them onto/from the base weights in
+        one shot.  With the merge fused into the GEMM epilogue the extra
+        traffic is one read + one write of each target weight matrix.
+        """
+        if num_layers <= 0 or num_projections <= 0:
+            raise ValueError("num_layers and num_projections must be positive")
+        problems = [
+            GemmShape(hidden_dim, rank, hidden_dim)
+            for _ in range(num_layers * num_projections)
+        ]
+        grouped = GroupedGemm.of(problems)
+        cfg = self._lookup(hidden_dim, rank, hidden_dim)
+        t = self.cost_model.grouped_seconds(grouped, cfg)
+        if fuse_merge:
+            # Epilogue: read W, write W (the ΔW never round-trips to HBM).
+            nbytes = (
+                2 * num_layers * num_projections
+                * hidden_dim * hidden_dim * FP16_BYTES
+            )
+            t += self.cost_model.elementwise_seconds(nbytes)
+        return t

@@ -1,0 +1,287 @@
+"""Profile-based optimal tiling search (§4.3.2, Algorithm 2).
+
+The search treats kernel latency as a black box (here: the analytical
+cost model standing in for CUTLASS Profiler), profiles every
+hardware-valid tiling configuration for every reachable input shape, and
+records the argmin in a hash table keyed by the input shape.  At runtime
+ATMM does an O(1) lookup (§4.3.1, Fig. 24).
+
+Expert-knowledge pruning from the paper:
+
+* hardware side — tile dims are powers of two, at least 16, and must fit
+  double-buffered in shared memory / the register file (already encoded in
+  :func:`repro.kernels.tiling.enumerate_configs`);
+* input side — the model dimension fixes K (or N) to a handful of values
+  (e.g. 4096 for Qwen-VL), ranks are few, and the token dimension M is
+  bucketed, so the shape space is small enough to sweep offline
+  (<30 minutes on the paper's testbed; seconds here).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.hardware.gpu import GPUSpec
+from repro.kernels.cost_model import GemmCostModel
+from repro.kernels.shapes import GemmShape
+from repro.kernels.tiling import TilingConfig, enumerate_configs
+
+#: Largest token dimension the search profiles (MaxBS * max seq len).
+DEFAULT_MAX_M = 16384
+
+
+def bucket_m(m: int) -> int:
+    """Round the token dimension up to its profiling bucket.
+
+    Buckets are powers of two (minimum 16): the search profiles each
+    bucket's upper edge, so a lookup with any ``m`` inside the bucket
+    returns a configuration valid (and near-optimal) for it.
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    b = 16
+    while b < m:
+        b <<= 1
+    return b
+
+
+def shape_key(m: int, k: int, n: int) -> int:
+    """Pack a (bucketed) shape into a single integer hash-table key.
+
+    Mirrors the paper's implementation detail (§5): the hash table keys
+    input shapes with a 128-bit unsigned integer.
+    """
+    if min(m, k, n) <= 0:
+        raise ValueError(f"shape dims must be positive, got ({m},{k},{n})")
+    if max(m, k, n) >= (1 << 32):
+        raise ValueError(f"shape dim exceeds 32-bit key field: ({m},{k},{n})")
+    return m | (k << 32) | (n << 64)
+
+
+@dataclass
+class SearchReport:
+    """Summary statistics from one search run."""
+
+    num_shapes: int = 0
+    num_configs: int = 0
+    num_profiles: int = 0
+    distinct_winners: int = 0
+    entries: Dict[int, Tuple[GemmShape, TilingConfig, float]] = field(
+        default_factory=dict
+    )
+
+
+class OptimalTilingTable:
+    """Hash table mapping shape keys to their optimal tiling configuration."""
+
+    def __init__(self, fallback: Optional[TilingConfig] = None):
+        self._table: Dict[int, TilingConfig] = {}
+        self._latency: Dict[int, float] = {}
+        self.fallback = fallback
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def insert(self, key: int, cfg: TilingConfig, latency_s: float) -> None:
+        self._table[key] = cfg
+        self._latency[key] = latency_s
+
+    def lookup(self, m: int, k: int, n: int) -> TilingConfig:
+        """Return the optimal configuration for an input shape.
+
+        ``m`` is bucketed before lookup.  If the exact (k, n) pair was not
+        profiled, falls back to the table-wide fallback configuration
+        (ATMM always registers one) rather than failing at runtime.
+        """
+        key = shape_key(bucket_m(m), k, n)
+        cfg = self._table.get(key)
+        if cfg is not None:
+            return cfg
+        if self.fallback is not None:
+            return self.fallback
+        raise KeyError(
+            f"no tiling entry for shape ({m},{k},{n}) and no fallback set"
+        )
+
+    def lookup_shape(self, shape: GemmShape) -> TilingConfig:
+        return self.lookup(shape.m, shape.k, shape.n)
+
+    def contains(self, m: int, k: int, n: int) -> bool:
+        return shape_key(bucket_m(m), k, n) in self._table
+
+    def profiled_latency(self, m: int, k: int, n: int) -> Optional[float]:
+        """The offline-profiled latency for a shape's bucket, if recorded."""
+        return self._latency.get(shape_key(bucket_m(m), k, n))
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        """Persist the table as JSON.
+
+        This plays the role of the paper's ahead-of-time compiled kernel
+        store (§5): the offline search runs once, the serving process
+        loads the table at startup.
+        """
+        payload = {
+            "fallback": self.fallback.to_dict() if self.fallback else None,
+            "entries": [
+                {
+                    "key": str(key),
+                    "config": cfg.to_dict(),
+                    "latency_s": self._latency.get(key),
+                }
+                for key, cfg in self._table.items()
+            ],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "OptimalTilingTable":
+        """Inverse of :meth:`save`."""
+        with open(path) as fh:
+            payload = json.load(fh)
+        fallback = (
+            TilingConfig.from_dict(payload["fallback"])
+            if payload.get("fallback") else None
+        )
+        table = cls(fallback=fallback)
+        for entry in payload.get("entries", []):
+            table.insert(
+                int(entry["key"]),
+                TilingConfig.from_dict(entry["config"]),
+                float(entry["latency_s"]) if entry.get("latency_s")
+                is not None else float("nan"),
+            )
+        return table
+
+
+class TilingSearch:
+    """Algorithm 2: sweep shapes x configs, record per-shape winners."""
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        cost_model: Optional[GemmCostModel] = None,
+        include_split_k: bool = True,
+        coarse: bool = False,
+    ):
+        self.gpu = gpu
+        self.cost_model = cost_model or GemmCostModel(gpu)
+        configs = enumerate_configs(gpu, include_split_k=include_split_k)
+        if coarse:
+            # Keep a representative subset for fast test runs: drop the
+            # rectangular warp-tile variants, keep all block tiles.
+            configs = [c for c in configs if c.wm == c.wn and c.wk == c.wm]
+        if not configs:
+            raise RuntimeError(f"no valid tiling configurations for {gpu.name}")
+        self.configs = configs
+
+    def m_buckets(self, max_m: int = DEFAULT_MAX_M) -> List[int]:
+        """Power-of-two M buckets up to ``max_m``."""
+        buckets = []
+        b = 16
+        while b <= max_m:
+            buckets.append(b)
+            b <<= 1
+        return buckets
+
+    def kn_pairs_for_model(
+        self, hidden_dims: Sequence[int], ranks: Sequence[int]
+    ) -> List[Tuple[int, int]]:
+        """The (K, N) pairs LoRA serving reaches for the given model dims.
+
+        For each hidden dim ``d`` and rank ``r``: shrink GEMMs are
+        ``(m, d, r)`` and expand GEMMs are ``(m, r, d)``; the mode switcher
+        additionally computes ΔW = B x A as ``(d, r, d)``.
+        """
+        pairs = set()
+        for d in hidden_dims:
+            for r in ranks:
+                pairs.add((d, r))   # shrink
+                pairs.add((r, d))   # expand / delta-W
+        return sorted(pairs)
+
+    def search(
+        self,
+        kn_pairs: Iterable[Tuple[int, int]],
+        max_m: int = DEFAULT_MAX_M,
+        extra_shapes: Iterable[GemmShape] = (),
+    ) -> Tuple[OptimalTilingTable, SearchReport]:
+        """Run the sweep and build the hash table.
+
+        Parameters
+        ----------
+        kn_pairs:
+            (K, N) pairs to profile across all M buckets.
+        max_m:
+            Largest M bucket.
+        extra_shapes:
+            Additional exact shapes to profile (e.g. ΔW shapes ``(d,r,d)``).
+        """
+        report = SearchReport(num_configs=len(self.configs))
+        shapes: List[GemmShape] = []
+        for k, n in kn_pairs:
+            for m in self.m_buckets(max_m):
+                shapes.append(GemmShape(m, k, n))
+        for s in extra_shapes:
+            shapes.append(GemmShape(bucket_m(s.m), s.k, s.n))
+
+        table = OptimalTilingTable()
+        winners = set()
+        for shape in shapes:
+            best_cfg, best_lat = self.profile_shape(shape)
+            key = shape_key(shape.m, shape.k, shape.n)
+            table.insert(key, best_cfg, best_lat)
+            report.entries[key] = (shape, best_cfg, best_lat)
+            winners.add(best_cfg)
+            report.num_profiles += len(self.configs)
+        report.num_shapes = len(shapes)
+        report.distinct_winners = len(winners)
+
+        # Register a sane fallback for shapes outside the profiled set.
+        mid = GemmShape(1024, 4096, 4096)
+        fallback_cfg, _ = self.profile_shape(mid)
+        table.fallback = fallback_cfg
+        return table, report
+
+    def profile_shape(self, shape: GemmShape) -> Tuple[TilingConfig, float]:
+        """Profile every configuration for one shape; return the winner."""
+        best_cfg: Optional[TilingConfig] = None
+        best_lat = float("inf")
+        for cfg in self.configs:
+            lat = self.cost_model.gemm_seconds(shape, cfg)
+            if lat < best_lat:
+                best_lat = lat
+                best_cfg = cfg
+        assert best_cfg is not None
+        return best_cfg, best_lat
+
+
+_TABLE_CACHE: Dict[tuple, OptimalTilingTable] = {}
+
+
+def default_table(
+    gpu: GPUSpec,
+    hidden_dims: Sequence[int] = (4096,),
+    ranks: Sequence[int] = (16, 32, 64, 128),
+    max_m: int = DEFAULT_MAX_M,
+    coarse: bool = True,
+) -> OptimalTilingTable:
+    """Build (or fetch from the process-wide cache) an ATMM tiling table.
+
+    The cache plays the role of the paper's ahead-of-time compiled kernel
+    set: the search runs once per (gpu, dims, ranks) tuple per process.
+    """
+    key = (gpu.name, tuple(sorted(hidden_dims)), tuple(sorted(ranks)), max_m, coarse)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        search = TilingSearch(gpu, coarse=coarse)
+        pairs = search.kn_pairs_for_model(hidden_dims, ranks)
+        extra = [GemmShape(d, r, d) for d in hidden_dims for r in ranks]
+        table, _ = search.search(pairs, max_m=max_m, extra_shapes=extra)
+        _TABLE_CACHE[key] = table
+    return table

@@ -1,0 +1,135 @@
+"""GEMM problem shapes.
+
+A LoRA adapter application for a batch of tokens is two GEMMs per
+projection (Fig. 2a):
+
+* *shrink*:  ``x (m×d)  @  A (d×r)   -> (m×r)``
+* *expand*:  ``(m×r)    @  B (r×d)   -> (m×d)``
+
+When several requests in a batch invoke *different* adapters, the batching
+operators face a **grouped GEMM**: a set of independent problems with
+heterogeneous ``m`` (request token counts) and possibly heterogeneous ``r``
+(adapter ranks).  :class:`GroupedGemm` is that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One ``(m × k) @ (k × n)`` matrix-multiplication problem."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.k <= 0 or self.n <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {self!r}")
+
+    @property
+    def flops(self) -> int:
+        """Useful floating-point operations (multiply-adds counted as 2)."""
+        return 2 * self.m * self.k * self.n
+
+    @property
+    def input_bytes_fp16(self) -> int:
+        """Bytes of the two input operands in FP16."""
+        return 2 * (self.m * self.k + self.k * self.n)
+
+    @property
+    def output_bytes_fp16(self) -> int:
+        """Bytes of the output in FP16."""
+        return 2 * self.m * self.n
+
+    def padded_to(self, m: int, n: int) -> "GemmShape":
+        """Return this shape padded up to ``m`` rows and ``n`` columns."""
+        if m < self.m or n < self.n:
+            raise ValueError(
+                f"cannot pad {self!r} down to m={m}, n={n}"
+            )
+        return GemmShape(m, self.k, n)
+
+
+@dataclass(frozen=True)
+class GroupedGemm:
+    """A set of independent GEMM problems executed by one logical operator call.
+
+    ``problems[i]`` is the i-th group's shape; groups share no operands.
+    """
+
+    problems: Tuple[GemmShape, ...]
+
+    def __post_init__(self) -> None:
+        if not self.problems:
+            raise ValueError("GroupedGemm needs at least one problem")
+
+    @classmethod
+    def of(cls, problems: Iterable[GemmShape]) -> "GroupedGemm":
+        return cls(tuple(problems))
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.problems)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(p.flops for p in self.problems)
+
+    @property
+    def max_m(self) -> int:
+        return max(p.m for p in self.problems)
+
+    @property
+    def max_n(self) -> int:
+        return max(p.n for p in self.problems)
+
+    def padded_batch(self) -> "GroupedGemm":
+        """The batched-GEMM view: every problem padded to the max m and n.
+
+        This is what a vanilla batched GEMM (dLoRA's Einsum path) executes,
+        and is the source of the padding waste §4.3.1 describes.
+        """
+        m, n = self.max_m, self.max_n
+        return GroupedGemm.of(p.padded_to(m, n) for p in self.problems)
+
+
+def lora_gemm_shapes(
+    token_counts: Sequence[int],
+    hidden_dim: int,
+    ranks: Sequence[int],
+) -> Tuple[GroupedGemm, GroupedGemm]:
+    """Build the (shrink, expand) grouped GEMMs for one LoRA application.
+
+    Parameters
+    ----------
+    token_counts:
+        Tokens per request group (requests hitting the same adapter are
+        pre-aggregated by the caller).
+    hidden_dim:
+        The model hidden size ``d``.
+    ranks:
+        Adapter rank per group, aligned with ``token_counts``.
+
+    Returns
+    -------
+    (shrink, expand):
+        ``shrink[i] = (m_i × d) @ (d × r_i)``,
+        ``expand[i] = (m_i × r_i) @ (r_i × d)``.
+    """
+    if len(token_counts) != len(ranks):
+        raise ValueError(
+            f"token_counts ({len(token_counts)}) and ranks ({len(ranks)}) "
+            "must align"
+        )
+    if not token_counts:
+        raise ValueError("need at least one request group")
+    shrink: List[GemmShape] = []
+    expand: List[GemmShape] = []
+    for m, r in zip(token_counts, ranks):
+        shrink.append(GemmShape(m, hidden_dim, r))
+        expand.append(GemmShape(m, r, hidden_dim))
+    return GroupedGemm.of(shrink), GroupedGemm.of(expand)

@@ -1,0 +1,41 @@
+"""LMM model configurations and per-iteration cost models.
+
+* :mod:`repro.models.config` — the Table 2 model zoo (Qwen-VL-7B,
+  LLaVA-1.5-7B/13B) plus their vision encoders.
+* :mod:`repro.models.lora` — LoRA adapter specifications: sizes of the
+  A/B matrices vs. the materialized ΔW, merge math bookkeeping.
+* :mod:`repro.models.costs` — base-model iteration latency (prefill /
+  decode / vision encode / LM head vs task head) on a given GPU.
+* :mod:`repro.models.zoo` — the domain-specific small models used for
+  swap-latency and accuracy comparisons (YOLO, OSCAR, ...).
+"""
+
+from repro.models.config import (
+    INTERNVL2_76B,
+    LLAVA15_13B,
+    LLAVA15_7B,
+    QWEN_VL_7B,
+    ModelConfig,
+    VisionEncoderConfig,
+    get_model,
+    list_models,
+)
+from repro.models.costs import IterationCostModel
+from repro.models.lora import LoRAAdapterSpec
+from repro.models.zoo import SMALL_MODELS, SmallModelSpec, get_small_model
+
+__all__ = [
+    "ModelConfig",
+    "VisionEncoderConfig",
+    "QWEN_VL_7B",
+    "LLAVA15_7B",
+    "LLAVA15_13B",
+    "INTERNVL2_76B",
+    "get_model",
+    "list_models",
+    "LoRAAdapterSpec",
+    "IterationCostModel",
+    "SmallModelSpec",
+    "SMALL_MODELS",
+    "get_small_model",
+]

@@ -1,0 +1,162 @@
+"""LMM model configurations (paper Table 2).
+
+| Model         | Vision Encoder      | Size | Layer # | Dimension |
+|---------------|---------------------|------|---------|-----------|
+| Qwen-VL-7B    | Openclip-ViT (1.9B) | 18GB | 32      | 4096      |
+| LLaVA-1.5-7B  | CLIP-ViT (0.3B)     | 13GB | 32      | 4096      |
+| LLaVA-1.5-13B | CLIP-ViT (0.3B)     | 24GB | 40      | 5120      |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.memory import FP16_BYTES
+
+
+@dataclass(frozen=True)
+class VisionEncoderConfig:
+    """The visual receptor: ViT encoder + vision-language projector."""
+
+    name: str
+    num_params: int
+    image_tokens: int = 256
+
+    def __post_init__(self) -> None:
+        if self.num_params <= 0 or self.image_tokens <= 0:
+            raise ValueError("vision encoder params and tokens must be positive")
+
+    @property
+    def flops_per_image(self) -> float:
+        """~2 FLOPs per parameter per visual token."""
+        return 2.0 * self.num_params * self.image_tokens
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One LMM: the LLM backbone plus its visual receptor.
+
+    Attributes map onto Table 2; derived sizes feed the memory manager
+    and the iteration cost model.
+    """
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    intermediate_dim: int
+    vocab_size: int
+    vision_encoder: VisionEncoderConfig
+    max_context: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden_dim <= 0:
+            raise ValueError("layers and hidden dim must be positive")
+        if self.hidden_dim % self.num_heads:
+            raise ValueError(
+                f"hidden_dim {self.hidden_dim} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def params_per_layer(self) -> int:
+        """Parameters of one transformer layer (attention + gated MLP)."""
+        d, i = self.hidden_dim, self.intermediate_dim
+        attn = 4 * d * d              # q, k, v, o
+        mlp = 3 * d * i               # gate, up, down
+        return attn + mlp
+
+    @property
+    def backbone_params(self) -> int:
+        """LLM backbone parameters (layers + embeddings + LM head)."""
+        embed = 2 * self.vocab_size * self.hidden_dim
+        return self.num_layers * self.params_per_layer + embed
+
+    @property
+    def total_params(self) -> int:
+        return self.backbone_params + self.vision_encoder.num_params
+
+    @property
+    def weight_bytes(self) -> int:
+        """FP16 weight footprint in device memory."""
+        return self.total_params * FP16_BYTES
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one token occupies across all layers (FP16)."""
+        return 2 * self.num_layers * self.hidden_dim * FP16_BYTES
+
+    def flops_per_token(self) -> float:
+        """Dense FLOPs to push one token through the backbone (no attention)."""
+        return 2.0 * self.num_layers * self.params_per_layer
+
+    def attention_flops(self, new_tokens: int, context_len: int) -> float:
+        """Attention score+value FLOPs for ``new_tokens`` against a context."""
+        return 4.0 * new_tokens * context_len * self.hidden_dim * self.num_layers
+
+
+QWEN_VL_7B = ModelConfig(
+    name="Qwen-VL-7B",
+    num_layers=32,
+    hidden_dim=4096,
+    num_heads=32,
+    intermediate_dim=11008,
+    vocab_size=151936,
+    vision_encoder=VisionEncoderConfig("Openclip-ViT-bigG", 1_900_000_000),
+)
+
+LLAVA15_7B = ModelConfig(
+    name="LLaVA-1.5-7B",
+    num_layers=32,
+    hidden_dim=4096,
+    num_heads=32,
+    intermediate_dim=11008,
+    vocab_size=32000,
+    vision_encoder=VisionEncoderConfig("CLIP-ViT-L", 300_000_000, image_tokens=576),
+)
+
+LLAVA15_13B = ModelConfig(
+    name="LLaVA-1.5-13B",
+    num_layers=40,
+    hidden_dim=5120,
+    num_heads=40,
+    intermediate_dim=13824,
+    vocab_size=32000,
+    vision_encoder=VisionEncoderConfig("CLIP-ViT-L", 300_000_000, image_tokens=576),
+)
+
+#: Paper §6.4 future work: "support larger LMM like InternVL2-76B".
+#: Llama-3-70B backbone + InternViT-6B visual receptor; needs tensor
+#: parallelism to fit (152 GB of weights vs 80 GB per A100).
+INTERNVL2_76B = ModelConfig(
+    name="InternVL2-76B",
+    num_layers=80,
+    hidden_dim=8192,
+    num_heads=64,
+    intermediate_dim=28672,
+    vocab_size=128256,
+    vision_encoder=VisionEncoderConfig("InternViT-6B", 5_900_000_000),
+)
+
+_REGISTRY = {
+    m.name: m
+    for m in (QWEN_VL_7B, LLAVA15_7B, LLAVA15_13B, INTERNVL2_76B)
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model configuration by its Table 2 name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def list_models() -> list:
+    """Names of all registered models, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,118 @@
+"""Functional helpers over the autograd substrate.
+
+Utilities the layers/trainers/tests share: stateless activations and
+losses, deterministic dropout, label utilities, and parameter
+bookkeeping.  Everything here works on :class:`~repro.nn.tensor.Tensor`
+or plain numpy arrays as documented per function.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import cross_entropy
+from repro.nn.tensor import Tensor
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot ``(N, C)`` float32."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def accuracy(logits: Tensor, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1] for ``(N, C)`` logits."""
+    preds = logits.data.argmax(axis=-1)
+    return float((preds == np.asarray(labels)).mean())
+
+
+def top_k_accuracy(logits: Tensor, labels: np.ndarray, k: int) -> float:
+    """Top-k accuracy in [0, 1]."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    labels = np.asarray(labels)
+    topk = np.argsort(-logits.data, axis=-1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout with an explicit generator (deterministic).
+
+    Identity when ``training`` is False or ``p == 0``.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout p must be in [0,1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def label_smoothing_cross_entropy(
+    logits: Tensor, labels: np.ndarray, smoothing: float = 0.1
+) -> Tensor:
+    """Cross entropy against smoothed targets.
+
+    Implemented as ``(1 - s) * CE(y) + s * mean_c CE(c)`` which equals
+    cross entropy against the smoothed distribution up to a constant.
+    """
+    if not 0.0 <= smoothing < 1.0:
+        raise ValueError(f"smoothing must be in [0,1), got {smoothing}")
+    hard = cross_entropy(logits, labels)
+    if smoothing == 0.0:
+        return hard
+    # Uniform component: -mean over classes of log softmax.
+    z = logits
+    shifted = z - Tensor(z.data.max(axis=1, keepdims=True))
+    logsumexp = Tensor(
+        np.log(np.exp(shifted.data).sum(axis=1, keepdims=True))
+    )
+    log_probs = shifted - logsumexp
+    uniform = -log_probs.mean(axis=1).mean()
+    return hard * (1.0 - smoothing) + uniform * smoothing
+
+
+def num_parameters(params: Iterable[Tensor]) -> int:
+    """Total element count of a parameter iterable."""
+    return sum(p.size for p in params)
+
+
+def global_grad_norm(params: Iterable[Tensor]) -> float:
+    """L2 norm over all gradients (0 if none)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad ** 2).sum())
+    return float(np.sqrt(total))
+
+
+def train_test_split(
+    x: np.ndarray, y: np.ndarray, test_fraction: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split of aligned arrays into train/test parts."""
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must align on axis 0")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(
+            f"test_fraction must be in (0,1), got {test_fraction}"
+        )
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(x.shape[0])
+    cut = int(round(x.shape[0] * (1.0 - test_fraction)))
+    if cut == 0 or cut == x.shape[0]:
+        raise ValueError("split leaves an empty part; adjust test_fraction")
+    tr, te = order[:cut], order[cut:]
+    return x[tr], y[tr], x[te], y[te]

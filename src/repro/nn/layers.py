@@ -1,0 +1,287 @@
+"""Neural-network modules: Linear, Embedding, LayerNorm, attention, blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, stack_params
+
+
+class Module:
+    """Base class with recursive parameter discovery and train/eval modes."""
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self) -> List[Tensor]:
+        """All unique parameters reachable from this module."""
+        found: List[Tensor] = []
+        for value in self.__dict__.values():
+            found.extend(_collect(value))
+        return stack_params(found)
+
+    def trainable_parameters(self) -> List[Tensor]:
+        return [p for p in self.parameters() if p.requires_grad]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            for module in _collect_modules(value):
+                module._set_mode(training)
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        params = self.trainable_parameters() if trainable_only else self.parameters()
+        return sum(p.size for p in params)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+def _collect(value) -> Iterator[Tensor]:
+    if isinstance(value, Tensor):
+        yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect(item)
+
+
+def _collect_modules(value) -> Iterator["Module"]:
+    if isinstance(value, Module):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_modules(item)
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Kaiming-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in/out features must be positive")
+        rng = rng or np.random.default_rng()
+        bound = float(np.sqrt(1.0 / in_features))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, (in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def freeze(self) -> "Linear":
+        """Stop gradient flow into this layer's own weights."""
+        self.weight.requires_grad = False
+        if self.bias is not None:
+            self.bias.requires_grad = False
+        return self
+
+
+class Embedding(Module):
+    """Token-id to vector lookup with scatter-add backward."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.weight = Tensor(
+            rng.normal(0.0, 0.02, (num_embeddings, dim)), requires_grad=True
+        )
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids)
+        if token_ids.min() < 0 or token_ids.max() >= self.num_embeddings:
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings})"
+            )
+        return self.weight[token_ids]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis (fused backward)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.data.mean(axis=-1, keepdims=True)
+        var = x.data.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x.data - mu) * inv
+        track = Tensor._needs_graph(x, self.gamma, self.beta)
+        out = Tensor(xhat * self.gamma.data + self.beta.data, track,
+                     (x, self.gamma, self.beta) if track else (), "layernorm")
+        if track:
+            dim = self.dim
+            def _backward():
+                g = out.grad
+                if self.gamma.requires_grad:
+                    self.gamma._accumulate(
+                        (g * xhat).reshape(-1, dim).sum(axis=0)
+                    )
+                if self.beta.requires_grad:
+                    self.beta._accumulate(g.reshape(-1, dim).sum(axis=0))
+                if x.requires_grad:
+                    gx = g * self.gamma.data
+                    mean_gx = gx.mean(axis=-1, keepdims=True)
+                    mean_gxx = (gx * xhat).mean(axis=-1, keepdims=True)
+                    x._accumulate(inv * (gx - mean_gx - xhat * mean_gxx))
+            out._backward = _backward
+        return out
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard causal-optional multi-head self attention."""
+
+    def __init__(self, dim: int, num_heads: int, causal: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.o_proj = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if self.causal:
+            mask = np.triu(np.full((seq, seq), -1e9, dtype=np.float32), k=1)
+            scores = scores + Tensor(mask)
+        attn = scores.softmax(axis=-1)
+        ctx = attn @ v
+        merged = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.o_proj(merged)
+
+
+class FeedForward(Module):
+    """Two-layer GELU MLP."""
+
+    def __init__(self, dim: int, hidden: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.up = Linear(dim, hidden, rng=rng)
+        self.down = Linear(hidden, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down(self.up(x).gelu())
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: int = 4,
+                 causal: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, causal=causal, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = FeedForward(dim, dim * mlp_ratio, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits (N, C)`` and integer targets.
+
+    Fused, numerically stable (log-sum-exp), with the classic
+    ``softmax - onehot`` backward.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} does not match batch "
+            f"{logits.shape[0]}"
+        )
+    z = logits.data
+    zmax = z.max(axis=1, keepdims=True)
+    logsumexp = zmax + np.log(np.exp(z - zmax).sum(axis=1, keepdims=True))
+    n = z.shape[0]
+    nll = (logsumexp.squeeze(1) - z[np.arange(n), targets]).mean()
+    track = Tensor._needs_graph(logits)
+    out = Tensor(nll, track, (logits,) if track else (), "cross_entropy")
+    if track:
+        def _backward():
+            if logits.requires_grad:
+                probs = np.exp(z - logsumexp)
+                probs[np.arange(n), targets] -= 1.0
+                logits._accumulate(out.grad * probs / n)
+        out._backward = _backward
+    return out

@@ -1,0 +1,147 @@
+"""LoRA layers for the numpy substrate.
+
+:class:`LoRALinear` wraps a frozen :class:`~repro.nn.layers.Linear` with a
+trainable low-rank bypass ``x @ A @ B * (alpha / r)`` (Fig. 2a).  It
+supports the operations the serving system's correctness rests on:
+
+* ``merge()`` / ``unmerge()`` — fold ΔW = A x B into the base weight and
+  take it back out (merged inference, Fig. 2b);
+* hot adapter swap via :class:`LoRAAdapterWeights` snapshots — the
+  orchestrator moves adapters between host and GPU without touching the
+  base model;
+* the deLoRA identity (§4.4.2) is property-tested against this layer in
+  ``tests/nn/test_lora.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class LoRAAdapterWeights:
+    """A detached snapshot of one adapter's A/B matrices (host copy)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    alpha: float
+
+    @property
+    def rank(self) -> int:
+        return self.a.shape[1]
+
+    def delta_w(self) -> np.ndarray:
+        """Materialize ΔW = (alpha / r) * A @ B."""
+        return (self.alpha / self.rank) * (self.a @ self.b)
+
+    def nbytes(self) -> int:
+        return self.a.nbytes + self.b.nbytes
+
+
+class LoRALinear(Module):
+    """Frozen linear layer with a trainable low-rank bypass."""
+
+    def __init__(
+        self,
+        base: Linear,
+        rank: int,
+        alpha: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if rank <= 0:
+            raise ValueError(f"rank must be positive, got {rank}")
+        if rank > min(base.in_features, base.out_features):
+            raise ValueError(
+                f"rank {rank} exceeds layer dims "
+                f"({base.in_features}, {base.out_features})"
+            )
+        rng = rng or np.random.default_rng()
+        self.base = base.freeze()
+        self.rank = rank
+        self.alpha = float(alpha if alpha is not None else rank)
+        # Standard LoRA init: A ~ N(0, sigma), B = 0 => ΔW starts at zero.
+        self.lora_a = Tensor(
+            rng.normal(0.0, 0.02, (base.in_features, rank)), requires_grad=True
+        )
+        self.lora_b = Tensor(
+            np.zeros((rank, base.out_features)), requires_grad=True
+        )
+        self._merged = False
+
+    # -- forward -----------------------------------------------------------------
+
+    @property
+    def scaling(self) -> float:
+        return self.alpha / self.rank
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.base(x)
+        if not self._merged:
+            out = out + (x @ self.lora_a @ self.lora_b) * self.scaling
+        return out
+
+    # -- merge / unmerge ------------------------------------------------------------
+
+    @property
+    def merged(self) -> bool:
+        return self._merged
+
+    def delta_w(self) -> np.ndarray:
+        return self.scaling * (self.lora_a.data @ self.lora_b.data)
+
+    def merge(self) -> None:
+        """Fold ΔW into the base weight (merged inference, Fig. 2b)."""
+        if self._merged:
+            raise RuntimeError("adapter is already merged")
+        self.base.weight.data += self.delta_w()
+        self._merged = True
+
+    def unmerge(self) -> None:
+        """Subtract ΔW back out of the base weight."""
+        if not self._merged:
+            raise RuntimeError("adapter is not merged")
+        self.base.weight.data -= self.delta_w()
+        self._merged = False
+
+    # -- adapter swap -------------------------------------------------------------------
+
+    def snapshot(self) -> LoRAAdapterWeights:
+        """Detached host-side copy of the adapter (for swap / rollback)."""
+        return LoRAAdapterWeights(
+            a=self.lora_a.data.copy(),
+            b=self.lora_b.data.copy(),
+            alpha=self.alpha,
+        )
+
+    def load(self, weights: LoRAAdapterWeights) -> None:
+        """Install an adapter snapshot (hot swap).
+
+        Refuses while merged: the resident ΔW would be inconsistent.
+        """
+        if self._merged:
+            raise RuntimeError("unmerge before loading a different adapter")
+        if weights.a.shape != self.lora_a.shape or weights.b.shape != self.lora_b.shape:
+            raise ValueError(
+                f"adapter shapes {weights.a.shape}/{weights.b.shape} do not "
+                f"match layer {self.lora_a.shape}/{self.lora_b.shape}"
+            )
+        self.lora_a.data = weights.a.copy()
+        self.lora_b.data = weights.b.copy()
+        self.alpha = weights.alpha
+
+    def reset(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Re-initialize the adapter (fresh bin in the fusion algorithm)."""
+        rng = rng or np.random.default_rng()
+        if self._merged:
+            self.unmerge()
+        self.lora_a.data = rng.normal(
+            0.0, 0.02, self.lora_a.shape
+        ).astype(np.float32)
+        self.lora_b.data = np.zeros(self.lora_b.shape, dtype=np.float32)

@@ -1,0 +1,121 @@
+"""Checkpointing for the numpy substrate.
+
+The offline phase (§4.2) produces artifacts: the pretrained base model
+and one A/B bundle per generated LoRA adapter, which the online phase
+loads into its pre-allocated slots.  This module provides both:
+
+* :func:`named_parameters` / :func:`save_model` / :func:`load_model` —
+  whole-module checkpoints as ``.npz`` keyed by attribute path;
+* :func:`save_adapter` / :func:`load_adapter` — one adapter's LoRA
+  snapshots (A, B, alpha per wrapped layer) as a standalone artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.lora import LoRAAdapterWeights
+from repro.nn.tensor import Tensor
+
+PathLike = Union[str, pathlib.Path]
+
+
+def named_parameters(module: Module, prefix: str = "") -> Dict[str, Tensor]:
+    """Parameters keyed by attribute path (e.g. ``blocks.0.attn.q_proj.weight``).
+
+    Deterministic: follows ``__dict__`` insertion order, recursing into
+    modules, lists/tuples (indexed), and dicts (keyed).
+    """
+    out: Dict[str, Tensor] = {}
+
+    def walk(value, path: str) -> None:
+        if isinstance(value, Tensor):
+            out[path] = value
+        elif isinstance(value, Module):
+            for name, child in value.__dict__.items():
+                if name == "training":
+                    continue
+                walk(child, f"{path}.{name}" if path else name)
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                walk(item, f"{path}.{i}")
+        elif isinstance(value, dict):
+            for key, item in value.items():
+                walk(item, f"{path}.{key}")
+
+    walk(module, prefix)
+    return out
+
+
+def save_model(module: Module, path: PathLike) -> int:
+    """Write every parameter to a compressed ``.npz``; returns the count."""
+    params = named_parameters(module)
+    if not params:
+        raise ValueError("module has no parameters to save")
+    np.savez_compressed(path, **{k: p.data for k, p in params.items()})
+    return len(params)
+
+
+def load_model(module: Module, path: PathLike, strict: bool = True) -> int:
+    """Load a checkpoint written by :func:`save_model` in place.
+
+    With ``strict`` (default) the checkpoint must cover exactly the
+    module's parameters; otherwise matching names load and the rest stay.
+    Shapes must always match.
+    """
+    params = named_parameters(module)
+    with np.load(path) as data:
+        saved = {k: data[k] for k in data.files}
+    missing = set(params) - set(saved)
+    unexpected = set(saved) - set(params)
+    if strict and (missing or unexpected):
+        raise ValueError(
+            f"checkpoint mismatch: missing={sorted(missing)[:4]} "
+            f"unexpected={sorted(unexpected)[:4]}"
+        )
+    loaded = 0
+    for name, tensor in params.items():
+        if name not in saved:
+            continue
+        if saved[name].shape != tensor.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: checkpoint "
+                f"{saved[name].shape} vs model {tensor.data.shape}"
+            )
+        tensor.data = saved[name].astype(np.float32)
+        loaded += 1
+    return loaded
+
+
+def save_adapter(snaps: Sequence[LoRAAdapterWeights],
+                 path: PathLike) -> None:
+    """Persist one adapter (all wrapped layers' A/B/alpha) as ``.npz``."""
+    if not snaps:
+        raise ValueError("adapter has no layers")
+    arrays = {}
+    for i, snap in enumerate(snaps):
+        arrays[f"layer{i}.a"] = snap.a
+        arrays[f"layer{i}.b"] = snap.b
+        arrays[f"layer{i}.alpha"] = np.array(snap.alpha, dtype=np.float32)
+    arrays["num_layers"] = np.array(len(snaps))
+    np.savez_compressed(path, **arrays)
+
+
+def load_adapter(path: PathLike) -> List[LoRAAdapterWeights]:
+    """Inverse of :func:`save_adapter`."""
+    with np.load(path) as data:
+        if "num_layers" not in data.files:
+            raise ValueError(f"{path} is not an adapter artifact")
+        count = int(data["num_layers"])
+        snaps = []
+        for i in range(count):
+            snaps.append(LoRAAdapterWeights(
+                a=data[f"layer{i}.a"].astype(np.float32),
+                b=data[f"layer{i}.b"].astype(np.float32),
+                alpha=float(data[f"layer{i}.alpha"]),
+            ))
+    return snaps

@@ -1,0 +1,378 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A deliberately small engine: dynamic graph, one backward pass, float32
+throughout.  Supports broadcasting (gradients are un-broadcast on the way
+back), batched matmul, and the handful of fused ops a transformer needs
+(softmax, layer norm, cross entropy live in the layers that use them).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float32)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an autograd tape entry."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Tuple["Tensor", ...] = (),
+        _op: str = "",
+    ):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self._backward: Callable[[], None] = lambda: None
+        self._prev = _prev if _GRAD_ENABLED else ()
+        self._op = _op
+
+    # -- graph plumbing -------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode AD from this tensor.
+
+        ``grad`` defaults to ones (scalar outputs get 1.0).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited: Set[int] = set()
+
+        def build(t: Tensor) -> None:
+            if id(t) in visited:
+                return
+            visited.add(id(t))
+            for child in t._prev:
+                build(child)
+            topo.append(t)
+
+        build(self)
+        self.grad = np.asarray(grad, dtype=np.float32)
+        for node in reversed(topo):
+            node._backward()
+
+    @staticmethod
+    def _needs_graph(*tensors: "Tensor") -> bool:
+        return _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+
+    # -- binary ops -------------------------------------------------------------
+
+    def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        track = Tensor._needs_graph(self, other)
+        out = Tensor(self.data + other.data, track,
+                     (self, other) if track else (), "add")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
+            out._backward = _backward
+        return out
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        track = Tensor._needs_graph(self, other)
+        out = Tensor(self.data * other.data, track,
+                     (self, other) if track else (), "mul")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+            out._backward = _backward
+        return out
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        track = Tensor._needs_graph(self, other)
+        out = Tensor(self.data @ other.data, track,
+                     (self, other) if track else (), "matmul")
+        if track:
+            def _backward():
+                a, b, g = self.data, other.data, out.grad
+                if self.requires_grad:
+                    if b.ndim == 1:
+                        ga = np.outer(g, b) if a.ndim > 1 else g * b
+                    else:
+                        ga = g @ np.swapaxes(b, -1, -2)
+                    self._accumulate(_unbroadcast(ga, self.shape))
+                if other.requires_grad:
+                    if a.ndim == 1:
+                        gb = np.outer(a, g)
+                    else:
+                        gb = np.swapaxes(a, -1, -2) @ g
+                    other._accumulate(_unbroadcast(gb, other.shape))
+            out._backward = _backward
+        return out
+
+    def __pow__(self, exponent: float):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        track = Tensor._needs_graph(self)
+        out = Tensor(self.data ** exponent, track,
+                     (self,) if track else (), "pow")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(
+                        out.grad * exponent * self.data ** (exponent - 1)
+                    )
+            out._backward = _backward
+        return out
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._coerce(other) + (-self)
+
+    def __truediv__(self, other):
+        return self * (self._coerce(other) ** -1.0)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other) * (self ** -1.0)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # -- reductions ---------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False):
+        track = Tensor._needs_graph(self)
+        out = Tensor(self.data.sum(axis=axis, keepdims=keepdims), track,
+                     (self,) if track else (), "sum")
+        if track:
+            def _backward():
+                if not self.requires_grad:
+                    return
+                g = out.grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    g = np.expand_dims(g, axes)
+                self._accumulate(np.broadcast_to(g, self.shape).copy())
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False):
+        count = self.size if axis is None else np.prod(
+            [self.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    # -- shape ops -------------------------------------------------------------------
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        track = Tensor._needs_graph(self)
+        out = Tensor(self.data.reshape(shape), track,
+                     (self,) if track else (), "reshape")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad.reshape(self.shape))
+            out._backward = _backward
+        return out
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        track = Tensor._needs_graph(self)
+        out = Tensor(self.data.transpose(axes), track,
+                     (self,) if track else (), "transpose")
+        if track:
+            inv = np.argsort(axes)
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad.transpose(inv))
+            out._backward = _backward
+        return out
+
+    def __getitem__(self, index):
+        track = Tensor._needs_graph(self)
+        out = Tensor(self.data[index], track,
+                     (self,) if track else (), "getitem")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    g = np.zeros_like(self.data)
+                    np.add.at(g, index, out.grad)
+                    self._accumulate(g)
+            out._backward = _backward
+        return out
+
+    # -- elementwise nonlinearities -----------------------------------------------------
+
+    def exp(self):
+        track = Tensor._needs_graph(self)
+        out = Tensor(np.exp(self.data), track, (self,) if track else (), "exp")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * out.data)
+            out._backward = _backward
+        return out
+
+    def log(self):
+        track = Tensor._needs_graph(self)
+        out = Tensor(np.log(self.data), track, (self,) if track else (), "log")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad / self.data)
+            out._backward = _backward
+        return out
+
+    def tanh(self):
+        track = Tensor._needs_graph(self)
+        out = Tensor(np.tanh(self.data), track, (self,) if track else (), "tanh")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * (1.0 - out.data ** 2))
+            out._backward = _backward
+        return out
+
+    def relu(self):
+        track = Tensor._needs_graph(self)
+        out = Tensor(np.maximum(self.data, 0.0), track,
+                     (self,) if track else (), "relu")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * (self.data > 0))
+            out._backward = _backward
+        return out
+
+    def gelu(self):
+        """Tanh-approximation GELU (as used by most transformer stacks)."""
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        x = self.data
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        track = Tensor._needs_graph(self)
+        out = Tensor(0.5 * x * (1.0 + t), track,
+                     (self,) if track else (), "gelu")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                    dgelu = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner
+                    self._accumulate(out.grad * dgelu)
+            out._backward = _backward
+        return out
+
+    def softmax(self, axis: int = -1):
+        """Numerically stable softmax along ``axis`` (fused backward)."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        y = e / e.sum(axis=axis, keepdims=True)
+        track = Tensor._needs_graph(self)
+        out = Tensor(y, track, (self,) if track else (), "softmax")
+        if track:
+            def _backward():
+                if self.requires_grad:
+                    g = out.grad
+                    dot = (g * y).sum(axis=axis, keepdims=True)
+                    self._accumulate(y * (g - dot))
+            out._backward = _backward
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, "
+            f"op={self._op or 'leaf'})"
+        )
+
+
+def stack_params(tensors: Iterable[Tensor]) -> List[Tensor]:
+    """Deduplicate a parameter iterable preserving order."""
+    seen: Set[int] = set()
+    out: List[Tensor] = []
+    for t in tensors:
+        if id(t) not in seen:
+            seen.add(id(t))
+            out.append(t)
+    return out

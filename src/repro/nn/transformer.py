@@ -1,0 +1,254 @@
+"""TinyLMM: a laptop-scale stand-in for Qwen-VL / LLaVA.
+
+The serving side of the reproduction treats the LMM as a cost model
+(:mod:`repro.models.costs`); the *accuracy* side needs an actual model
+that learns, forgets, and saturates.  TinyLMM is a small transformer with
+the same moving parts as the paper's LMMs:
+
+* a "visual receptor": a patch projector mapping per-patch feature
+  vectors into token embeddings (the ViT + Q-former pipeline of Fig. 1,
+  collapsed into one linear map over synthetic features);
+* a prompt token (task instruction) prepended to the visual tokens;
+* a transformer backbone whose attention projections can be wrapped with
+  LoRA adapters;
+* an **LM head** over an answer vocabulary — answering a vision task
+  through it costs one decode round per answer token;
+* pluggable **vision task heads** (§4.2.2) — a single linear layer that
+  answers in one round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    TransformerBlock,
+    cross_entropy,
+)
+from repro.nn.lora import LoRAAdapterWeights, LoRALinear
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class TinyLMMConfig:
+    """Hyper-parameters of the tiny LMM."""
+
+    feature_dim: int = 32
+    dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    mlp_ratio: int = 2
+    vocab_size: int = 64
+    num_prompts: int = 16
+    max_patches: int = 16
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_heads:
+            raise ValueError(
+                f"dim {self.dim} not divisible by heads {self.num_heads}"
+            )
+
+
+class TaskHead(Module):
+    """A vision task head: one linear layer over the pooled feature."""
+
+    def __init__(self, dim: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_classes <= 1:
+            raise ValueError(f"num_classes must be > 1, got {num_classes}")
+        self.proj = Linear(dim, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, pooled: Tensor) -> Tensor:
+        return self.proj(pooled)
+
+
+class TinyLMM(Module):
+    """Tiny multimodal transformer with LM head and vision task heads."""
+
+    def __init__(self, config: TinyLMMConfig = TinyLMMConfig(),
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        self.patch_proj = Linear(config.feature_dim, config.dim, rng=rng)
+        self.prompt_embed = Embedding(config.num_prompts, config.dim, rng=rng)
+        self.blocks = [
+            TransformerBlock(config.dim, config.num_heads,
+                             mlp_ratio=config.mlp_ratio, rng=rng)
+            for _ in range(config.num_layers)
+        ]
+        self.norm = LayerNorm(config.dim)
+        self.lm_head = Linear(config.dim, config.vocab_size, rng=rng)
+        self.task_heads: Dict[str, TaskHead] = {}
+        self._lora_layers: List[LoRALinear] = []
+
+    # -- forward ------------------------------------------------------------------
+
+    def forward_features(
+        self, features: np.ndarray, prompt_ids: np.ndarray
+    ) -> Tensor:
+        """Pooled representation for a batch of (features, prompt) inputs.
+
+        Parameters
+        ----------
+        features:
+            ``(batch, patches, feature_dim)`` visual features.
+        prompt_ids:
+            ``(batch,)`` integer prompt/task tokens.
+        """
+        features = np.asarray(features, dtype=np.float32)
+        if features.ndim != 3 or features.shape[2] != self.config.feature_dim:
+            raise ValueError(
+                f"features must be (B, T, {self.config.feature_dim}), "
+                f"got {features.shape}"
+            )
+        batch, patches, _ = features.shape
+        if patches > self.config.max_patches:
+            raise ValueError(
+                f"{patches} patches exceeds max {self.config.max_patches}"
+            )
+        tokens = self.patch_proj(Tensor(features))
+        prompt = self.prompt_embed(np.asarray(prompt_ids))
+        # Broadcast the prompt token across the sequence (prefix-style
+        # conditioning without ragged concatenation).
+        x = tokens + prompt.reshape(batch, 1, self.config.dim)
+        for block in self.blocks:
+            x = block(x)
+        x = self.norm(x)
+        return x.mean(axis=1)
+
+    def lm_logits(self, features: np.ndarray, prompt_ids: np.ndarray) -> Tensor:
+        """Answer-vocabulary logits through the LM head."""
+        return self.lm_head(self.forward_features(features, prompt_ids))
+
+    def task_logits(
+        self, features: np.ndarray, prompt_ids: np.ndarray, head_name: str
+    ) -> Tensor:
+        """Class logits through a registered vision task head."""
+        head = self.task_heads.get(head_name)
+        if head is None:
+            raise KeyError(
+                f"no task head {head_name!r}; registered: "
+                f"{sorted(self.task_heads)}"
+            )
+        return head(self.forward_features(features, prompt_ids))
+
+    # -- heads ---------------------------------------------------------------------
+
+    def add_task_head(self, name: str, num_classes: int,
+                      rng: Optional[np.random.Generator] = None) -> TaskHead:
+        """Register a vision task head (part of an adapter bundle, §4.2.2)."""
+        if name in self.task_heads:
+            raise ValueError(f"task head {name!r} already registered")
+        head = TaskHead(self.config.dim, num_classes, rng=rng)
+        self.task_heads[name] = head
+        return head
+
+    # -- LoRA management -----------------------------------------------------------------
+
+    def add_lora(self, rank: int,
+                 rng: Optional[np.random.Generator] = None,
+                 include_projector: bool = True) -> List[LoRALinear]:
+        """Wrap the attention q/v projections (and, like common LMM
+        fine-tuning recipes, the vision-language projector) with LoRA and
+        freeze the base.
+
+        Returns the LoRA layers so trainers can optimize only them.
+        """
+        if self._lora_layers:
+            raise RuntimeError("LoRA already installed on this model")
+        rng = rng or np.random.default_rng(0)
+        for p in self.parameters():
+            p.requires_grad = False
+        if include_projector:
+            self.patch_proj = LoRALinear(self.patch_proj, rank, rng=rng)
+            self._lora_layers.append(self.patch_proj)
+        for block in self.blocks:
+            attn = block.attn
+            for proj_name in ("q_proj", "v_proj"):
+                base = getattr(attn, proj_name)
+                wrapped = LoRALinear(base, rank, rng=rng)
+                setattr(attn, proj_name, wrapped)
+                self._lora_layers.append(wrapped)
+        return self._lora_layers
+
+    @property
+    def lora_layers(self) -> List[LoRALinear]:
+        return list(self._lora_layers)
+
+    def lora_parameters(self) -> List[Tensor]:
+        """Trainable parameters of the installed adapter (+ task heads)."""
+        params: List[Tensor] = []
+        for layer in self._lora_layers:
+            params.extend([layer.lora_a, layer.lora_b])
+        for head in self.task_heads.values():
+            params.extend(head.trainable_parameters())
+        return params
+
+    def lora_snapshot(self) -> List[LoRAAdapterWeights]:
+        """Detached copies of all LoRA layers (rollback / host swap)."""
+        return [layer.snapshot() for layer in self._lora_layers]
+
+    def lora_load(self, snaps: Sequence[LoRAAdapterWeights]) -> None:
+        if len(snaps) != len(self._lora_layers):
+            raise ValueError(
+                f"snapshot count {len(snaps)} != layer count "
+                f"{len(self._lora_layers)}"
+            )
+        for layer, snap in zip(self._lora_layers, snaps):
+            layer.load(snap)
+
+    def lora_reset(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Fresh adapter (a new bin in the fusion algorithm)."""
+        rng = rng or np.random.default_rng(0)
+        for layer in self._lora_layers:
+            layer.reset(rng)
+
+    def merge_loras(self) -> None:
+        for layer in self._lora_layers:
+            layer.merge()
+
+    def unmerge_loras(self) -> None:
+        for layer in self._lora_layers:
+            layer.unmerge()
+
+    # -- evaluation helpers ------------------------------------------------------------------
+
+    def accuracy(
+        self,
+        features: np.ndarray,
+        prompt_ids: np.ndarray,
+        labels: np.ndarray,
+        head_name: Optional[str] = None,
+    ) -> float:
+        """Top-1 accuracy (fraction in [0,1]) with LM head or a task head."""
+        with no_grad():
+            if head_name is None:
+                logits = self.lm_logits(features, prompt_ids)
+            else:
+                logits = self.task_logits(features, prompt_ids, head_name)
+        preds = logits.data.argmax(axis=1)
+        return float((preds == np.asarray(labels)).mean())
+
+    def loss(
+        self,
+        features: np.ndarray,
+        prompt_ids: np.ndarray,
+        labels: np.ndarray,
+        head_name: Optional[str] = None,
+    ) -> Tensor:
+        """Cross-entropy through the LM head or a task head."""
+        if head_name is None:
+            logits = self.lm_logits(features, prompt_ids)
+        else:
+            logits = self.task_logits(features, prompt_ids, head_name)
+        return cross_entropy(logits, labels)

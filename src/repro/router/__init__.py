@@ -1,0 +1,32 @@
+"""Query-to-adapter routing.
+
+The paper identifies the adapter from the application's registration or
+query (§5: "After receiving a request, V-LoRA identifies its LoRA
+adapter, dispatches it to the adapter ...") and notes that automatic
+adapter identification from free-form queries (task automation, dynamic
+LoRA) is orthogonal work.  This package provides that orthogonal piece
+as an extension:
+
+* :class:`~repro.router.router.KeywordRouter` — rule-based routing on
+  registered keywords;
+* :class:`~repro.router.router.EmbeddingRouter` — nearest-neighbour
+  routing over hashed bag-of-ngrams embeddings of example queries;
+* :class:`~repro.router.router.RoutedFrontend` — wraps an engine:
+  free-form queries in, requests out.
+"""
+
+from repro.router.router import (
+    EmbeddingRouter,
+    KeywordRouter,
+    Route,
+    RoutedFrontend,
+    Router,
+)
+
+__all__ = [
+    "Router",
+    "Route",
+    "KeywordRouter",
+    "EmbeddingRouter",
+    "RoutedFrontend",
+]

@@ -1,0 +1,178 @@
+"""Routers mapping free-form queries to (task, adapter) pairs."""
+
+from __future__ import annotations
+
+import abc
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.generation.heads import TASK_PROFILES, TaskProfile
+from repro.runtime.request import Request
+
+
+@dataclass(frozen=True)
+class Route:
+    """Outcome of routing one query."""
+
+    adapter_id: str
+    task_name: str
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in [0,1], got {self.confidence}"
+            )
+
+
+class Router(abc.ABC):
+    """Maps a natural-language query to the adapter that should serve it."""
+
+    @abc.abstractmethod
+    def route(self, query: str) -> Route:
+        """Return the route for ``query``.
+
+        Raises
+        ------
+        LookupError
+            If no registered rule/example matches at all.
+        """
+
+
+def _tokenize(text: str) -> List[str]:
+    return re.findall(r"[a-z0-9]+", text.lower())
+
+
+class KeywordRouter(Router):
+    """Rule-based routing: each adapter registers trigger keywords.
+
+    Ties break toward the adapter matching the most keywords, then the
+    earliest registered.
+    """
+
+    def __init__(self):
+        self._rules: List[Tuple[str, str, frozenset]] = []
+
+    def register(self, adapter_id: str, task_name: str,
+                 keywords: Sequence[str]) -> None:
+        if task_name not in TASK_PROFILES:
+            raise KeyError(f"unknown task {task_name!r}")
+        if not keywords:
+            raise ValueError("need at least one keyword")
+        normalized = frozenset(w.lower() for w in keywords)
+        self._rules.append((adapter_id, task_name, normalized))
+
+    def route(self, query: str) -> Route:
+        tokens = set(_tokenize(query))
+        best: Optional[Tuple[int, int, str, str]] = None
+        for order, (adapter, task, keywords) in enumerate(self._rules):
+            hits = len(tokens & keywords)
+            if hits == 0:
+                continue
+            key = (-hits, order)
+            if best is None or key < (best[0], best[1]):
+                best = (key[0], key[1], adapter, task)
+        if best is None:
+            raise LookupError(f"no routing rule matches {query!r}")
+        hits = -best[0]
+        confidence = min(1.0, hits / 3.0)
+        return Route(adapter_id=best[2], task_name=best[3],
+                     confidence=confidence)
+
+
+class EmbeddingRouter(Router):
+    """Nearest-neighbour routing over hashed bag-of-ngrams embeddings.
+
+    Each adapter registers a few example queries; an incoming query is
+    embedded the same way and routed to the adapter whose examples are
+    closest (cosine).  No external models: the embedding is a feature
+    hash of word unigrams and bigrams.
+    """
+
+    def __init__(self, dim: int = 256, min_similarity: float = 0.18):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.min_similarity = min_similarity
+        self._examples: List[Tuple[str, str, np.ndarray]] = []
+
+    def _embed(self, text: str) -> np.ndarray:
+        tokens = _tokenize(text)
+        grams = tokens + [
+            f"{a}_{b}" for a, b in zip(tokens, tokens[1:])
+        ]
+        vec = np.zeros(self.dim, dtype=np.float64)
+        for gram in grams:
+            # Stable feature hash (python's hash() is salted per process,
+            # which would make routing non-deterministic across runs).
+            digest = zlib.crc32(gram.encode("utf-8"))
+            slot = digest % self.dim
+            sign = 1.0 if (digest >> 16) % 2 == 0 else -1.0
+            vec[slot] += sign
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def register(self, adapter_id: str, task_name: str,
+                 examples: Sequence[str]) -> None:
+        if task_name not in TASK_PROFILES:
+            raise KeyError(f"unknown task {task_name!r}")
+        if not examples:
+            raise ValueError("need at least one example query")
+        for example in examples:
+            self._examples.append(
+                (adapter_id, task_name, self._embed(example))
+            )
+
+    def route(self, query: str) -> Route:
+        if not self._examples:
+            raise LookupError("no examples registered")
+        q = self._embed(query)
+        best_sim, best_adapter, best_task = -1.0, None, None
+        for adapter, task, emb in self._examples:
+            sim = float(q @ emb)
+            if sim > best_sim:
+                best_sim, best_adapter, best_task = sim, adapter, task
+        if best_adapter is None or best_sim < self.min_similarity:
+            raise LookupError(
+                f"no registered example is similar enough to {query!r} "
+                f"(best similarity {best_sim:.3f})"
+            )
+        return Route(adapter_id=best_adapter, task_name=best_task,
+                     confidence=max(0.0, min(1.0, best_sim)))
+
+
+@dataclass
+class RoutedFrontend:
+    """Turns free-form queries into engine-ready :class:`Request` objects."""
+
+    router: Router
+    use_task_heads: bool = True
+    default_images: int = 1
+
+    def make_request(self, query: str, arrival_time: float,
+                     prefix_key: Optional[str] = None) -> Request:
+        """Route a query and materialize the request for it."""
+        route = self.router.route(query)
+        profile: TaskProfile = TASK_PROFILES[route.task_name]
+        use_head = self.use_task_heads and profile.supports_task_head
+        return Request(
+            adapter_id=route.adapter_id,
+            arrival_time=arrival_time,
+            input_tokens=profile.input_tokens,
+            output_tokens=1 if use_head else profile.output_tokens_lm,
+            task_name=profile.name,
+            num_images=profile.images_per_request,
+            use_task_head=use_head,
+            prefix_key=prefix_key,
+            prefix_tokens=min(256 * profile.images_per_request,
+                              profile.input_tokens)
+            if prefix_key else 0,
+        )
+
+    def make_requests(self, queries: Sequence[Tuple[str, float]]) -> List[Request]:
+        """Route a batch of ``(query, arrival_time)`` pairs."""
+        return [self.make_request(q, t) for q, t in queries]

@@ -1,0 +1,66 @@
+"""LoRA-LMM serving runtime: the online phase of V-LoRA (§4.4, §5).
+
+A discrete-event, iteration-level serving engine in the style of
+vLLM/LightLLM, driven by the analytical cost models:
+
+* :mod:`repro.runtime.request` — request lifecycle;
+* :mod:`repro.runtime.clock` — the simulated clock;
+* :mod:`repro.runtime.kv_cache` — paged KV-cache block manager with
+  prefix reuse (§5 "KV cache reuse");
+* :mod:`repro.runtime.memory` — unified KV/adapter memory accounting;
+* :mod:`repro.runtime.adapters` — adapter residency + async swap;
+* :mod:`repro.runtime.modes` — merged / unmerged / mixture (deLoRA)
+  execution costs and the deLoRA correctness math (§4.4.2);
+* :mod:`repro.runtime.switcher` — swift one-shot mode switch vs. dLoRA's
+  per-layer switch (§4.4.1, Fig. 7);
+* :mod:`repro.runtime.scheduler` — Algorithm 1 and baseline policies;
+* :mod:`repro.runtime.engine` — the iteration-level engine;
+* :mod:`repro.runtime.cluster` — multi-GPU dispatch (Table 3);
+* :mod:`repro.runtime.metrics` — latency/throughput accounting.
+"""
+
+from repro.runtime.request import Request, RequestStatus
+from repro.runtime.clock import SimClock
+from repro.runtime.kv_cache import BlockAllocationError, PagedKVCache
+from repro.runtime.memory import UnifiedMemoryManager
+from repro.runtime.adapters import AdapterManager
+from repro.runtime.modes import InferenceMode, ModeExecutor, delora_output
+from repro.runtime.switcher import DLoRASwitcher, ModeSwitcher, SwiftSwitcher
+from repro.runtime.scheduler import (
+    DLoRAPolicy,
+    MergedOnlyPolicy,
+    SchedulerDecision,
+    SchedulingPolicy,
+    UnmergedOnlyPolicy,
+    VLoRAPolicy,
+)
+from repro.runtime.engine import EngineConfig, ServingEngine
+from repro.runtime.cluster import MultiGPUServer
+from repro.runtime.metrics import MetricsCollector, RequestRecord
+
+__all__ = [
+    "Request",
+    "RequestStatus",
+    "SimClock",
+    "PagedKVCache",
+    "BlockAllocationError",
+    "UnifiedMemoryManager",
+    "AdapterManager",
+    "InferenceMode",
+    "ModeExecutor",
+    "delora_output",
+    "ModeSwitcher",
+    "SwiftSwitcher",
+    "DLoRASwitcher",
+    "SchedulingPolicy",
+    "SchedulerDecision",
+    "VLoRAPolicy",
+    "DLoRAPolicy",
+    "MergedOnlyPolicy",
+    "UnmergedOnlyPolicy",
+    "ServingEngine",
+    "EngineConfig",
+    "MultiGPUServer",
+    "MetricsCollector",
+    "RequestRecord",
+]

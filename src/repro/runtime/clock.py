@@ -1,0 +1,36 @@
+"""Simulated clock.
+
+All serving latencies in this reproduction are *simulated*: the engine
+advances this clock by cost-model outputs, never by host wall time.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by negative dt {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Jump forward to absolute time ``t`` (no-op if already past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f}s)"

@@ -1,0 +1,112 @@
+"""Multi-GPU serving (Table 3) with pluggable inter-GPU dispatch.
+
+V-LoRA scales across GPUs by replicating the engine (base model +
+adapter pool) per device; §6.4's Table 3 measures the simple
+data-parallel deployment.  Inter-GPU scheduling (dLoRA-style) is the
+paper's future work — three dispatch policies are provided here:
+
+* ``least-loaded`` — send each request to the replica with the fewest
+  queued decode rounds (Table 3's configuration);
+* ``round-robin`` — cycle replicas;
+* ``adapter-affinity`` — pin each adapter's requests to a home replica
+  (hashed), making every replica's workload maximally merge-friendly for
+  Algorithm 1 at the cost of load imbalance under skew.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, List, Optional, Sequence
+
+from repro.runtime.engine import ServingEngine
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.request import Request
+
+DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity")
+
+
+class MultiGPUServer:
+    """Dispatches requests over independent per-GPU engines."""
+
+    def __init__(self, engines: Sequence[ServingEngine],
+                 dispatch: str = "least-loaded"):
+        if not engines:
+            raise ValueError("need at least one engine")
+        if dispatch not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown dispatch {dispatch!r}; expected one of "
+                f"{DISPATCH_POLICIES}"
+            )
+        self.engines = list(engines)
+        self.dispatch = dispatch
+        self._rr_next = 0
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.engines)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def submit(self, requests: Sequence[Request]) -> None:
+        """Dispatch each request to a replica per the configured policy."""
+        ordered = sorted(requests, key=lambda q: (q.arrival_time,
+                                                  q.request_id))
+        if self.dispatch == "least-loaded":
+            self._submit_least_loaded(ordered)
+        elif self.dispatch == "round-robin":
+            self._submit_round_robin(ordered)
+        else:
+            self._submit_affinity(ordered)
+
+    def _submit_least_loaded(self, requests: Sequence[Request]) -> None:
+        # Load measured in queued decode rounds (a better proxy than
+        # request count when tasks differ in output length).
+        loads = [
+            sum(req.remaining for req in e._pending) for e in self.engines
+        ]
+        for r in requests:
+            i = loads.index(min(loads))
+            self.engines[i].submit([r])
+            loads[i] += r.remaining
+
+    def _submit_round_robin(self, requests: Sequence[Request]) -> None:
+        for r in requests:
+            self.engines[self._rr_next % self.num_gpus].submit([r])
+            self._rr_next += 1
+
+    def _submit_affinity(self, requests: Sequence[Request]) -> None:
+        for r in requests:
+            home = zlib.crc32(r.adapter_id.encode("utf-8")) % self.num_gpus
+            self.engines[home].submit([r])
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> MetricsCollector:
+        """Run every engine to completion and merge their metrics."""
+        merged = MetricsCollector()
+        for e in self.engines:
+            m = e.run(until=until)
+            merged.records.extend(m.records)
+            for mode, count in m.mode_iterations.items():
+                merged.mode_iterations[mode] = (
+                    merged.mode_iterations.get(mode, 0) + count
+                )
+            merged.num_mode_switches += m.num_mode_switches
+            merged.num_preemptions += m.num_preemptions
+            merged.switch_time_total += m.switch_time_total
+            merged.lora_extra_time_total += m.lora_extra_time_total
+            merged.iterations += m.iterations
+        return merged
+
+    def per_engine_completed(self) -> List[int]:
+        """Completed request count per replica (load-balance visibility)."""
+        return [e.metrics.num_completed for e in self.engines]
+
+    @classmethod
+    def replicate(cls, factory: Callable[[], ServingEngine],
+                  num_gpus: int, dispatch: str = "least-loaded",
+                  ) -> "MultiGPUServer":
+        """Build ``num_gpus`` identical engines from a factory."""
+        if num_gpus <= 0:
+            raise ValueError(f"num_gpus must be positive, got {num_gpus}")
+        return cls([factory() for _ in range(num_gpus)], dispatch=dispatch)

@@ -1,0 +1,464 @@
+"""Iteration-level discrete-event serving engine.
+
+One :class:`ServingEngine` models one GPU running one LMM with a set of
+LoRA adapters.  Like vLLM/LightLLM (§5), scheduling is *iteration-level*:
+every iteration the policy re-selects a batch from all live requests
+(continuous batching), new requests prefill as they join, and each
+running request decodes one token per iteration.
+
+The engine advances a simulated clock by cost-model outputs:
+
+* base-model prefill/decode time (:class:`IterationCostModel`);
+* the LoRA operator's extra time for the chosen mode (:class:`ModeExecutor`);
+* mode-switch costs (:class:`ModeSwitcher`);
+* adapter swap-in stalls (:class:`AdapterManager`);
+* KV allocation (with prefix reuse) gates admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.gpu import GPUSpec
+from repro.kernels.base import LoRAOperator
+from repro.models.config import ModelConfig
+from repro.models.costs import IterationCostModel
+from repro.runtime.adapters import AdapterManager
+from repro.runtime.clock import SimClock
+from repro.runtime.kv_cache import PagedKVCache
+from repro.runtime.memory import UnifiedMemoryManager
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.modes import InferenceMode, ModeExecutor
+from repro.runtime.request import Request, RequestStatus
+from repro.runtime.scheduler import (
+    SchedulingContext,
+    SchedulingPolicy,
+)
+from repro.runtime.switcher import ModeSwitcher
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs."""
+
+    max_batch_size: int = 32
+    num_projections: int = 2
+    enable_prefix_reuse: bool = True
+    jitter_seed: Optional[int] = 0
+    prefix_ttl_s: float = 30.0
+    #: Batch prefills of co-arriving requests into one iteration (vLLM
+    #: style).  Punica's decode-centric runtime prefills per request.
+    batch_prefills: bool = True
+    #: Megatron-style tensor parallelism across this many GPUs (the
+    #: engine then models one TP *group*, not one GPU).
+    tensor_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.tensor_parallel < 1:
+            raise ValueError("tensor_parallel must be >= 1")
+
+
+class ServingEngine:
+    """One GPU's serving loop over a simulated clock."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        gpu: GPUSpec,
+        operator: LoRAOperator,
+        policy: SchedulingPolicy,
+        switcher: ModeSwitcher,
+        adapter_manager: AdapterManager,
+        memory: Optional[UnifiedMemoryManager] = None,
+        config: EngineConfig = EngineConfig(),
+    ):
+        self.model = model
+        self.gpu = gpu
+        self.operator = operator
+        self.policy = policy
+        self.switcher = switcher
+        self.adapters = adapter_manager
+        self.config = config
+        self.memory = memory or UnifiedMemoryManager(
+            model, gpu, adapter_slots=adapter_manager.gpu_slots,
+            tp_degree=config.tensor_parallel,
+        )
+        self.kv: PagedKVCache = self.memory.build_kv_cache()
+        self.iter_costs = IterationCostModel(
+            model, gpu, operator.cost_model,
+            tp_degree=config.tensor_parallel,
+        )
+        self.mode_exec = ModeExecutor(
+            model, operator, num_projections=config.num_projections
+        )
+        self.clock = SimClock()
+        self.metrics = MetricsCollector()
+        self._rng = (
+            np.random.default_rng(config.jitter_seed)
+            if config.jitter_seed is not None else None
+        )
+        self._pending: List[Request] = []     # future arrivals, sorted
+        self._active: List[Request] = []      # arrived, not finished
+        self._reused_tokens: Dict[int, int] = {}
+        self.current_mode = InferenceMode.UNMERGED
+        self.current_merged: Optional[str] = None
+        self._last_iteration_s = 0.03
+        self._switch_estimate: Optional[float] = None
+        #: Optional per-iteration tracer (attach_tracer()).
+        self.tracer = None
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, requests: Sequence[Request]) -> None:
+        """Queue requests for their arrival times (may be in the future)."""
+        for r in requests:
+            self.adapters.spec(r.adapter_id)  # validate adapter exists
+            self._pending.append(r)
+        self._pending.sort(key=lambda r: (r.arrival_time, r.request_id))
+
+    @property
+    def num_live(self) -> int:
+        return len(self._pending) + len(self._active)
+
+    def attach_tracer(self, tracer=None):
+        """Attach (or create) an :class:`EngineTracer`; returns it."""
+        from repro.runtime.tracing import EngineTracer
+
+        self.tracer = tracer or EngineTracer()
+        return self.tracer
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_iterations: int = 2_000_000) -> MetricsCollector:
+        """Run until all submitted work completes (or ``until`` sim-seconds)."""
+        for _ in range(max_iterations):
+            if until is not None and self.clock.now >= until:
+                break
+            if not self._pending and not self._active:
+                break
+            self.step()
+        else:
+            raise RuntimeError(
+                f"engine exceeded {max_iterations} iterations "
+                f"(sim time {self.clock.now:.1f}s)"
+            )
+        return self.metrics
+
+    def step(self) -> None:
+        """One engine iteration (or a jump to the next arrival)."""
+        self._admit_arrivals()
+        if not self._active:
+            if self._pending:
+                self.clock.advance_to(self._pending[0].arrival_time)
+                self._admit_arrivals()
+            else:
+                return
+
+        ctx = SchedulingContext(
+            now=self.clock.now,
+            current_mode=self.current_mode,
+            current_merged=self.current_merged,
+            max_batch_size=self.config.max_batch_size,
+            est_iteration_seconds=self._last_iteration_s,
+            est_switch_seconds=self._estimate_switch(),
+        )
+        decision = self.policy.schedule(self._active, ctx)
+        if decision is None:
+            return
+
+        switch_s = self._apply_mode(decision.mode, decision.merged_adapter)
+        batch = self._trim_to_adapter_slots(decision.batch,
+                                            decision.merged_adapter)
+        batch = self._admit_to_kv(batch)
+        if not batch:
+            # KV exhausted: let running requests drain by retrying the
+            # already-admitted subset next iteration after evicting
+            # stale prefixes.
+            self.kv.evict_stale_prefixes(
+                self.clock.now - self.config.prefix_ttl_s
+            )
+            batch = [r for r in decision.batch if r.prefilled]
+            if not batch:
+                raise RuntimeError(
+                    "KV cache exhausted with nothing admitted; "
+                    "reduce load or enlarge memory"
+                )
+
+        batch = self._ensure_decode_capacity(batch)
+        if not batch:
+            raise RuntimeError(
+                "KV cache cannot hold even one request's decode step; "
+                "enlarge memory or shorten requests"
+            )
+
+        stall = self.adapters.ensure_resident(
+            self._batch_adapters(batch, decision), self.clock.now
+        )
+        if stall:
+            self.clock.advance(stall)
+
+        preempt_before = self.metrics.num_preemptions
+        start = self.clock.now
+        iteration_s = self._execute(batch, decision)
+        self.clock.advance(iteration_s)
+        self._last_iteration_s = iteration_s
+        self._finalize(batch)
+        self.metrics.iterations += 1
+        self.metrics.count_mode(decision.mode.value)
+        if self.tracer is not None:
+            self._trace(decision, batch, start, iteration_s, switch_s,
+                        stall, preempt_before)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _admit_arrivals(self) -> None:
+        now = self.clock.now
+        while self._pending and self._pending[0].arrival_time <= now:
+            self._active.append(self._pending.pop(0))
+
+    def _estimate_switch(self) -> float:
+        if self._switch_estimate is None:
+            any_spec = self.adapters.spec(self.adapters.resident_ids[0])
+            self._switch_estimate = self.switcher.merge_seconds(any_spec)
+        return self._switch_estimate
+
+    def _apply_mode(self, mode: InferenceMode,
+                    merged: Optional[str]) -> float:
+        """Transition engine state; returns the switch cost paid."""
+        if mode == self.current_mode and merged == self.current_merged:
+            return 0.0
+        from_spec = (
+            self.adapters.spec(self.current_merged)
+            if self.current_merged else None
+        )
+        to_spec = self.adapters.spec(merged) if merged else None
+        cost = self.switcher.switch_seconds(
+            self.current_mode, mode, from_spec, to_spec
+        )
+        if cost:
+            self.clock.advance(cost)
+            self.metrics.num_mode_switches += 1
+            self.metrics.switch_time_total += cost
+        self.current_mode = mode
+        self.current_merged = merged
+        return cost
+
+    def _trace(self, decision, batch, start, iteration_s, switch_s,
+               swap_stall, preempt_before) -> None:
+        from repro.runtime.tracing import IterationEvent
+
+        prefill_tokens = sum(
+            max(r.context_len - self._reused_tokens.get(r.request_id, 0), 1)
+            for r in batch if r.generated == 1 and r.prefilled
+            and r.first_token_time == self.clock.now
+        )
+        # Requests past their first round contributed one decode token.
+        decode_tokens = sum(1 for r in batch if r.generated > 1)
+        self.tracer.record(IterationEvent(
+            index=self.metrics.iterations - 1,
+            start=start,
+            duration=iteration_s,
+            mode=decision.mode.value,
+            merged_adapter=decision.merged_adapter,
+            batch_size=len(batch),
+            prefill_tokens=prefill_tokens,
+            decode_tokens=decode_tokens,
+            adapters=tuple(sorted({r.adapter_id for r in batch})),
+            switch_seconds=switch_s,
+            swap_stall_seconds=swap_stall,
+            preemptions=self.metrics.num_preemptions - preempt_before,
+        ))
+
+    def _admit_to_kv(self, batch: Sequence[Request]) -> List[Request]:
+        admitted: List[Request] = []
+        for r in batch:
+            if r.prefilled:
+                admitted.append(r)
+                continue
+            prefix_key = (
+                r.prefix_key if self.config.enable_prefix_reuse else None
+            )
+            if not self.kv.can_allocate(r.context_len):
+                self.kv.evict_stale_prefixes(
+                    self.clock.now - self.config.prefix_ttl_s
+                )
+            if not self.kv.can_allocate(r.context_len):
+                continue  # stays waiting; retried next iteration
+            # A preempted request re-prefills its prompt plus everything
+            # it had already generated (recompute-style restart).
+            reused = self.kv.allocate(
+                r.request_id, r.context_len,
+                prefix_key=prefix_key,
+                prefix_tokens=r.prefix_tokens,
+                now=self.clock.now,
+            )
+            self._reused_tokens[r.request_id] = reused
+            admitted.append(r)
+        return admitted
+
+    def _ensure_decode_capacity(self, batch: Sequence[Request]) -> List[Request]:
+        """Guarantee the decode appends of this iteration can allocate.
+
+        When the cache cannot grow every decoding sequence by one token,
+        the engine preempts the youngest running requests
+        (recompute-style, like vLLM): their blocks are freed and they
+        re-prefill later.  Preempted requests stay active and waiting.
+        """
+        batch = list(batch)
+        while True:
+            # Every batch member (prefill or decode) appends one token at
+            # the end of the iteration; a sequence sitting exactly on a
+            # block boundary needs one fresh block for it.
+            needed = sum(
+                1 for r in batch
+                if self.kv.sequence_tokens(r.request_id)
+                % self.kv.block_size == 0
+            )
+            if needed <= self.kv.free_blocks:
+                return batch
+            victim = self._pick_preemption_victim(batch)
+            if victim is not None:
+                self._preempt(victim)
+                batch = [r for r in batch if r.request_id != victim.request_id]
+                continue
+            # Last resort: bounce a not-yet-prefilled admission back to
+            # the waiting set.
+            fresh = [r for r in batch if not r.prefilled]
+            if len(batch) > 1 and fresh:
+                bounced = fresh[-1]
+                self.kv.free(bounced.request_id)
+                self._reused_tokens.pop(bounced.request_id, None)
+                batch = [r for r in batch if r.request_id != bounced.request_id]
+                continue
+            return batch[:0]
+
+    def _pick_preemption_victim(self, batch: Sequence[Request]):
+        """Youngest prefilled request (in-batch last, else any active)."""
+        prefilled_batch = [r for r in batch if r.prefilled]
+        batch_ids = {r.request_id for r in batch}
+        outside = [
+            r for r in self._active
+            if r.prefilled and r.request_id not in batch_ids
+        ]
+        pool = outside or prefilled_batch
+        if len(pool) <= 1 and pool == prefilled_batch:
+            return None  # never preempt the last runnable request
+        return max(pool, key=lambda r: (r.arrival_time, r.request_id))
+
+    def _preempt(self, req: Request) -> None:
+        self.kv.free(req.request_id)
+        self._reused_tokens.pop(req.request_id, None)
+        req.prefilled = False
+        req.status = RequestStatus.WAITING
+        self.metrics.num_preemptions += 1
+
+    def _trim_to_adapter_slots(self, batch: Sequence[Request],
+                               merged: Optional[str]) -> List[Request]:
+        """Keep at most ``gpu_slots`` distinct adapters in one batch.
+
+        A batch can only execute against GPU-resident adapters; requests
+        whose adapter would exceed the slot count stay waiting (their
+        turn comes once earlier adapters drain).
+        """
+        allowed = set([merged] if merged else [])
+        budget = self.adapters.gpu_slots
+        kept: List[Request] = []
+        for r in batch:
+            if r.adapter_id not in allowed:
+                if len(allowed) >= budget:
+                    continue
+                allowed.add(r.adapter_id)
+            kept.append(r)
+        return kept
+
+    def _batch_adapters(self, batch: Sequence[Request],
+                        decision) -> List[str]:
+        ids = [r.adapter_id for r in batch]
+        if decision.merged_adapter:
+            ids.append(decision.merged_adapter)
+        return list(dict.fromkeys(ids))
+
+    def _execute(self, batch: Sequence[Request], decision) -> float:
+        """Cost one iteration over ``batch`` and return its latency."""
+        prefills = [r for r in batch if not r.prefilled]
+        decodes = [r for r in batch if r.prefilled]
+        t = 0.0
+        adapter_tokens: Dict[str, int] = {}
+
+        if prefills:
+            effective = [
+                max(r.context_len - self._reused_tokens.get(r.request_id, 0), 1)
+                for r in prefills
+            ]
+            num_images = sum(r.num_images for r in prefills)
+            if self.config.batch_prefills:
+                t += self.iter_costs.prefill_seconds(effective, num_images)
+            else:
+                # Per-request prefill: each pays its own iteration.
+                for r, tok in zip(prefills, effective):
+                    t += self.iter_costs.prefill_seconds([tok], r.num_images)
+            for r, tok in zip(prefills, effective):
+                adapter_tokens[r.adapter_id] = (
+                    adapter_tokens.get(r.adapter_id, 0) + tok
+                )
+
+        if decodes:
+            contexts = [r.context_len for r in decodes]
+            lm = any(not r.use_task_head for r in decodes)
+            head_classes = max(
+                (self.adapters.spec(r.adapter_id).task_head_classes or 101
+                 for r in decodes if r.use_task_head),
+                default=0,
+            )
+            t += self.iter_costs.decode_seconds(
+                contexts, lm_head=lm, task_head_classes=head_classes
+            )
+            for r in decodes:
+                adapter_tokens[r.adapter_id] = (
+                    adapter_tokens.get(r.adapter_id, 0) + 1
+                )
+
+        if adapter_tokens:
+            ranks = {
+                a: self.adapters.spec(a).rank for a in adapter_tokens
+            }
+            if decision.merged_adapter is not None:
+                ranks.setdefault(
+                    decision.merged_adapter,
+                    self.adapters.spec(decision.merged_adapter).rank,
+                )
+            extra = self.mode_exec.extra_seconds(
+                decision.mode, adapter_tokens, ranks,
+                merged_adapter=decision.merged_adapter,
+                rng=self._rng,
+            )
+            t += extra
+            self.metrics.lora_extra_time_total += extra
+        return t
+
+    def _finalize(self, batch: Sequence[Request]) -> None:
+        now = self.clock.now
+        finished: List[Request] = []
+        for r in batch:
+            if not r.prefilled:
+                r.prefilled = True
+                r.status = RequestStatus.RUNNING
+            self.kv.append_token(r.request_id)
+            r.generated += 1
+            if r.first_token_time is None:
+                r.first_token_time = now
+            if r.is_finished:
+                r.finish_time = now
+                r.status = RequestStatus.FINISHED
+                finished.append(r)
+        for r in finished:
+            self.kv.free(r.request_id)
+            self._reused_tokens.pop(r.request_id, None)
+            self._active.remove(r)
+            self.metrics.complete(r)

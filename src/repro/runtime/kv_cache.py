@@ -1,0 +1,229 @@
+"""Paged KV-cache block manager with prefix reuse.
+
+A faithful (if simplified) PagedAttention-style block manager: KV state
+lives in fixed-size blocks; a sequence owns a chain of blocks; blocks of
+a shared prefix are reference-counted so multiple requests over the same
+image reuse one copy (§5 "KV cache reuse", after CacheBlend / SGLang).
+
+Invariants (property-tested in ``tests/runtime/test_kv_cache.py``):
+
+* ``free_blocks + used_blocks == num_blocks`` at all times;
+* every block's refcount is >= 1 while referenced, 0 once freed;
+* a sequence's token capacity always covers its token count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class BlockAllocationError(RuntimeError):
+    """Raised when the cache cannot serve an allocation."""
+
+
+@dataclass
+class _Block:
+    block_id: int
+    refcount: int = 0
+
+
+@dataclass
+class _Sequence:
+    seq_id: int
+    blocks: List[int] = field(default_factory=list)
+    num_tokens: int = 0
+    prefix_blocks: int = 0      # leading blocks shared via a prefix entry
+
+
+@dataclass
+class _PrefixEntry:
+    key: str
+    blocks: List[int]
+    num_tokens: int
+    last_used: float = 0.0
+
+
+class PagedKVCache:
+    """Block-granular KV cache for one model on one GPU."""
+
+    def __init__(self, num_blocks: int, block_size: int = 16,
+                 kv_bytes_per_token: int = 0):
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self.kv_bytes_per_token = kv_bytes_per_token
+        self._blocks = [_Block(i) for i in range(num_blocks)]
+        self._free: List[int] = list(range(num_blocks - 1, -1, -1))
+        self._sequences: Dict[int, _Sequence] = {}
+        self._prefixes: Dict[str, _PrefixEntry] = {}
+
+    # -- capacity ----------------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - self.free_blocks
+
+    def free_tokens(self) -> int:
+        return self.free_blocks * self.block_size
+
+    def can_allocate(self, num_tokens: int) -> bool:
+        return self._blocks_for(num_tokens) <= self.free_blocks
+
+    def _blocks_for(self, num_tokens: int) -> int:
+        return -(-num_tokens // self.block_size)
+
+    # -- allocation ------------------------------------------------------------------
+
+    def _take_blocks(self, count: int) -> List[int]:
+        if count > len(self._free):
+            raise BlockAllocationError(
+                f"need {count} blocks, only {len(self._free)} free"
+            )
+        taken = [self._free.pop() for _ in range(count)]
+        for b in taken:
+            self._blocks[b].refcount = 1
+        return taken
+
+    def allocate(self, seq_id: int, num_tokens: int,
+                 prefix_key: Optional[str] = None,
+                 prefix_tokens: int = 0,
+                 now: float = 0.0) -> int:
+        """Allocate KV space for a new sequence's prefill.
+
+        Returns the number of tokens *reused* from a cached prefix (0 if
+        no prefix hit).  On a miss with a ``prefix_key``, the prefix's
+        full blocks are registered for future reuse.
+        """
+        if seq_id in self._sequences:
+            raise BlockAllocationError(f"sequence {seq_id} already allocated")
+        if num_tokens <= 0:
+            raise ValueError(f"num_tokens must be positive, got {num_tokens}")
+        if not 0 <= prefix_tokens <= num_tokens:
+            raise ValueError(
+                f"prefix_tokens {prefix_tokens} outside [0, {num_tokens}]"
+            )
+
+        reused_tokens = 0
+        shared_blocks: List[int] = []
+        if prefix_key is not None and prefix_tokens >= self.block_size:
+            entry = self._prefixes.get(prefix_key)
+            if entry is not None:
+                shared_blocks = list(entry.blocks)
+                reused_tokens = entry.num_tokens
+                entry.last_used = now
+                for b in shared_blocks:
+                    self._blocks[b].refcount += 1
+
+        remaining = num_tokens - reused_tokens
+        own = self._take_blocks(self._blocks_for(remaining) if remaining > 0 else 0)
+        seq = _Sequence(
+            seq_id=seq_id,
+            blocks=shared_blocks + own,
+            num_tokens=num_tokens,
+            prefix_blocks=len(shared_blocks),
+        )
+        self._sequences[seq_id] = seq
+
+        # Register a fresh prefix for future requests (only full blocks
+        # are shareable).
+        if (prefix_key is not None and reused_tokens == 0
+                and prefix_tokens >= self.block_size):
+            full = prefix_tokens // self.block_size
+            prefix_blocks = own[:full]
+            for b in prefix_blocks:
+                self._blocks[b].refcount += 1
+            self._prefixes[prefix_key] = _PrefixEntry(
+                key=prefix_key,
+                blocks=list(prefix_blocks),
+                num_tokens=full * self.block_size,
+                last_used=now,
+            )
+        return reused_tokens
+
+    def append_token(self, seq_id: int) -> None:
+        """Extend a sequence by one decoded token, growing it if needed."""
+        seq = self._seq(seq_id)
+        capacity = len(seq.blocks) * self.block_size
+        if seq.num_tokens + 1 > capacity:
+            seq.blocks.extend(self._take_blocks(1))
+        seq.num_tokens += 1
+
+    def free(self, seq_id: int) -> None:
+        """Release a sequence; shared prefix blocks survive while cached."""
+        seq = self._sequences.pop(seq_id, None)
+        if seq is None:
+            raise BlockAllocationError(f"unknown sequence {seq_id}")
+        for b in seq.blocks:
+            self._release_block(b)
+
+    def _release_block(self, block_id: int) -> None:
+        block = self._blocks[block_id]
+        if block.refcount <= 0:
+            raise BlockAllocationError(f"double free of block {block_id}")
+        block.refcount -= 1
+        if block.refcount == 0:
+            self._free.append(block_id)
+
+    # -- prefix management ----------------------------------------------------------------
+
+    def drop_prefix(self, prefix_key: str) -> None:
+        """Evict a cached prefix (its blocks free once no sequence uses them)."""
+        entry = self._prefixes.pop(prefix_key, None)
+        if entry is None:
+            raise KeyError(f"unknown prefix {prefix_key!r}")
+        for b in entry.blocks:
+            self._release_block(b)
+
+    def evict_stale_prefixes(self, older_than: float) -> int:
+        """Drop prefixes unused since ``older_than``; returns count dropped."""
+        stale = [k for k, e in self._prefixes.items() if e.last_used < older_than]
+        for k in stale:
+            self.drop_prefix(k)
+        return len(stale)
+
+    @property
+    def num_prefixes(self) -> int:
+        return len(self._prefixes)
+
+    def has_prefix(self, prefix_key: str) -> bool:
+        return prefix_key in self._prefixes
+
+    # -- introspection -------------------------------------------------------------------------
+
+    def sequence_tokens(self, seq_id: int) -> int:
+        return self._seq(seq_id).num_tokens
+
+    def _seq(self, seq_id: int) -> _Sequence:
+        seq = self._sequences.get(seq_id)
+        if seq is None:
+            raise BlockAllocationError(f"unknown sequence {seq_id}")
+        return seq
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property tests)."""
+        free_set = set(self._free)
+        if len(free_set) != len(self._free):
+            raise AssertionError("duplicate blocks on the free list")
+        for b in self._blocks:
+            if b.block_id in free_set:
+                if b.refcount != 0:
+                    raise AssertionError(
+                        f"free block {b.block_id} has refcount {b.refcount}"
+                    )
+            elif b.refcount <= 0:
+                raise AssertionError(
+                    f"used block {b.block_id} has refcount {b.refcount}"
+                )
+        for seq in self._sequences.values():
+            if seq.num_tokens > len(seq.blocks) * self.block_size:
+                raise AssertionError(
+                    f"sequence {seq.seq_id} overflows its blocks"
+                )

@@ -1,0 +1,110 @@
+"""Unified KV/adapter memory accounting (§5, after S-LoRA).
+
+One HBM budget covers the base model weights, the resident LoRA
+adapters, and the paged KV cache.  V-LoRA pre-allocates contiguous
+adapter slots inside this pool (no tensor-reshape copies on un/merge —
+the swift switcher's first design point, §4.4.1), and sizes the KV cache
+with what remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.gpu import GPUSpec
+from repro.models.config import ModelConfig
+from repro.models.lora import LoRAAdapterSpec
+from repro.runtime.kv_cache import PagedKVCache
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """How one GPU's HBM is carved up."""
+
+    total_bytes: int
+    weights_bytes: int
+    adapter_pool_bytes: int
+    activation_reserve_bytes: int
+    kv_bytes: int
+
+    def __post_init__(self) -> None:
+        spent = (
+            self.weights_bytes + self.adapter_pool_bytes
+            + self.activation_reserve_bytes + self.kv_bytes
+        )
+        if spent > self.total_bytes:
+            raise ValueError(
+                f"memory plan oversubscribed: {spent} > {self.total_bytes}"
+            )
+
+
+class UnifiedMemoryManager:
+    """Plans and tracks the unified memory pool of one GPU."""
+
+    #: Fraction of HBM reserved for activations / workspace.
+    ACTIVATION_FRACTION = 0.08
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        gpu: GPUSpec,
+        adapter_slots: int = 8,
+        adapter_spec: Optional[LoRAAdapterSpec] = None,
+        block_size: int = 16,
+        tp_degree: int = 1,
+    ):
+        if adapter_slots < 0:
+            raise ValueError(f"adapter_slots must be >= 0, got {adapter_slots}")
+        if tp_degree < 1:
+            raise ValueError(f"tp_degree must be >= 1, got {tp_degree}")
+        self.model = model
+        self.gpu = gpu
+        self.adapter_slots = adapter_slots
+        self.tp_degree = tp_degree
+        spec = adapter_spec or LoRAAdapterSpec("slot-proto", model)
+        # Tensor parallelism shards adapters alongside the weights.
+        self.slot_bytes = spec.ab_bytes // tp_degree
+
+        total = gpu.hbm_capacity_bytes
+        weights = model.weight_bytes // tp_degree
+        if weights >= total:
+            raise ValueError(
+                f"{model.name} ({weights / 2**30:.1f} GB per GPU at "
+                f"tp={tp_degree}) does not fit on "
+                f"{gpu.name} ({gpu.hbm_capacity_gb} GB)"
+            )
+        reserve = int(total * self.ACTIVATION_FRACTION)
+        pool = adapter_slots * self.slot_bytes
+        kv = total - weights - reserve - pool
+        if kv <= 0:
+            raise ValueError(
+                "no memory left for KV cache; reduce adapter_slots"
+            )
+        self.plan = MemoryPlan(
+            total_bytes=total,
+            weights_bytes=weights,
+            adapter_pool_bytes=pool,
+            activation_reserve_bytes=reserve,
+            kv_bytes=kv,
+        )
+        self.block_size = block_size
+
+    @property
+    def kv_block_count(self) -> int:
+        # KV shards across TP ranks along the head dimension.
+        per_token = -(-self.model.kv_bytes_per_token // self.tp_degree)
+        per_block = self.block_size * per_token
+        return self.plan.kv_bytes // per_block
+
+    @property
+    def kv_token_capacity(self) -> int:
+        return self.kv_block_count * self.block_size
+
+    def build_kv_cache(self) -> PagedKVCache:
+        """A paged KV cache sized to this plan."""
+        return PagedKVCache(
+            num_blocks=self.kv_block_count,
+            block_size=self.block_size,
+            kv_bytes_per_token=self.model.kv_bytes_per_token,
+        )

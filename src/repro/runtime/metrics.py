@@ -1,0 +1,171 @@
+"""Serving metrics: average token latency, throughput, tail percentiles.
+
+Metric definitions follow §6.1:
+
+* **average token latency** — the sum of each request's end-to-end
+  latency divided by the total number of tokens (input + output);
+* **throughput** — completed requests per second of simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.request import Request
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable completion record for one request."""
+
+    request_id: int
+    adapter_id: str
+    task_name: str
+    arrival_time: float
+    first_token_time: float
+    finish_time: float
+    input_tokens: int
+    output_tokens: int
+    slo_s: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.arrival_time
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    @classmethod
+    def from_request(cls, req: Request) -> "RequestRecord":
+        if req.finish_time is None or req.first_token_time is None:
+            raise ValueError(f"request {req.request_id} not finished")
+        return cls(
+            request_id=req.request_id,
+            adapter_id=req.adapter_id,
+            task_name=req.task_name,
+            arrival_time=req.arrival_time,
+            first_token_time=req.first_token_time,
+            finish_time=req.finish_time,
+            input_tokens=req.input_tokens,
+            output_tokens=req.output_tokens,
+            slo_s=req.slo_s,
+        )
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates completion records and derives §6.1's metrics."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    mode_iterations: Dict[str, int] = field(default_factory=dict)
+    num_mode_switches: int = 0
+    num_preemptions: int = 0
+    switch_time_total: float = 0.0
+    lora_extra_time_total: float = 0.0
+    iterations: int = 0
+
+    def complete(self, req: Request) -> None:
+        self.records.append(RequestRecord.from_request(req))
+
+    def count_mode(self, mode_name: str) -> None:
+        self.mode_iterations[mode_name] = (
+            self.mode_iterations.get(mode_name, 0) + 1
+        )
+
+    # -- headline metrics -----------------------------------------------------
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.records)
+
+    def avg_token_latency(self) -> float:
+        """Sum of request latencies over total tokens (seconds/token)."""
+        if not self.records:
+            raise ValueError("no completed requests")
+        total_latency = sum(r.latency for r in self.records)
+        total_tokens = sum(r.total_tokens for r in self.records)
+        return total_latency / total_tokens
+
+    def throughput_rps(self, duration: Optional[float] = None) -> float:
+        """Completed requests per second over ``duration`` (defaults to
+        the span from first arrival to last completion)."""
+        if not self.records:
+            raise ValueError("no completed requests")
+        if duration is None:
+            start = min(r.arrival_time for r in self.records)
+            end = max(r.finish_time for r in self.records)
+            duration = max(end - start, 1e-9)
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return len(self.records) / duration
+
+    def mean_latency(self) -> float:
+        if not self.records:
+            raise ValueError("no completed requests")
+        return float(np.mean([r.latency for r in self.records]))
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile, ``q`` in [0, 100]."""
+        if not self.records:
+            raise ValueError("no completed requests")
+        return float(np.percentile([r.latency for r in self.records], q))
+
+    def mean_ttft(self) -> float:
+        if not self.records:
+            raise ValueError("no completed requests")
+        return float(np.mean([r.ttft for r in self.records]))
+
+    def slo_attainment(self) -> Optional[float]:
+        """Fraction of SLO-carrying requests that met their SLO.
+
+        ``None`` when no completed request carried an SLO.
+        """
+        with_slo = [r for r in self.records if r.slo_s is not None]
+        if not with_slo:
+            return None
+        met = sum(1 for r in with_slo if r.latency <= r.slo_s)
+        return met / len(with_slo)
+
+    # -- breakdowns ----------------------------------------------------------------
+
+    def by_task(self) -> Dict[str, List[RequestRecord]]:
+        out: Dict[str, List[RequestRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.task_name, []).append(r)
+        return out
+
+    def by_adapter(self) -> Dict[str, List[RequestRecord]]:
+        out: Dict[str, List[RequestRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.adapter_id, []).append(r)
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline numbers (for bench JSON dumps)."""
+        return {
+            "completed": float(self.num_completed),
+            "avg_token_latency_ms": self.avg_token_latency() * 1e3,
+            "throughput_rps": self.throughput_rps(),
+            "mean_latency_s": self.mean_latency(),
+            "p50_latency_s": self.latency_percentile(50),
+            "p90_latency_s": self.latency_percentile(90),
+            "p99_latency_s": self.latency_percentile(99),
+            "mean_ttft_s": self.mean_ttft(),
+            "mode_switches": float(self.num_mode_switches),
+            "preemptions": float(self.num_preemptions),
+            "switch_time_total_s": self.switch_time_total,
+            "iterations": float(self.iterations),
+            **(
+                {"slo_attainment": self.slo_attainment()}
+                if self.slo_attainment() is not None else {}
+            ),
+        }

@@ -1,0 +1,121 @@
+"""Request lifecycle for the serving engine."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RequestStatus(enum.Enum):
+    """Where a request is in its life."""
+
+    WAITING = "waiting"       # arrived, not yet admitted to a batch
+    RUNNING = "running"       # prefilled (or prefilling) and decoding
+    FINISHED = "finished"
+    ABORTED = "aborted"
+
+
+_id_counter = itertools.count()
+
+
+@dataclass
+class Request:
+    """One inference request.
+
+    Attributes
+    ----------
+    adapter_id:
+        The LoRA adapter this request invokes (V-LoRA identifies it from
+        the query / application registration, §5).
+    arrival_time:
+        Simulated arrival timestamp in seconds.
+    input_tokens:
+        Prompt + visual tokens (prefill length).
+    output_tokens:
+        Decode rounds required.  A task answered through a vision task
+        head needs exactly 1 (§4.2.2).
+    num_images:
+        Images the vision encoder must process at prefill.
+    use_task_head:
+        Whether the answer comes from the adapter's task head.
+    prefix_key / prefix_tokens:
+        Optional shared-prefix identity for KV reuse (e.g. an image seen
+        before in multi-round VQA, §5 "KV cache reuse").
+    """
+
+    adapter_id: str
+    arrival_time: float
+    input_tokens: int
+    output_tokens: int
+    task_name: str = ""
+    num_images: int = 0
+    use_task_head: bool = False
+    prefix_key: Optional[str] = None
+    prefix_tokens: int = 0
+    #: Optional per-request latency SLO in seconds (§4.4: V-LoRA aims to
+    #: minimize average latency while meeting each application's
+    #: constraint); accounted by the metrics layer.
+    slo_s: Optional[float] = None
+    request_id: int = field(default_factory=lambda: next(_id_counter))
+
+    # -- progress (mutated by the engine) -----------------------------------
+    status: RequestStatus = RequestStatus.WAITING
+    prefilled: bool = False
+    generated: int = 0
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    credit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.input_tokens <= 0:
+            raise ValueError(f"input_tokens must be positive, got {self.input_tokens}")
+        if self.output_tokens <= 0:
+            raise ValueError(f"output_tokens must be positive, got {self.output_tokens}")
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if not 0 <= self.prefix_tokens <= self.input_tokens:
+            raise ValueError(
+                f"prefix_tokens {self.prefix_tokens} outside "
+                f"[0, {self.input_tokens}]"
+            )
+        if self.use_task_head and self.output_tokens != 1:
+            raise ValueError("task-head requests decode in exactly 1 round")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError(f"slo_s must be positive, got {self.slo_s}")
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def total_tokens(self) -> int:
+        """Input + output tokens (the denominator of avg token latency)."""
+        return self.input_tokens + self.output_tokens
+
+    @property
+    def context_len(self) -> int:
+        """Current context length (prefill + generated so far)."""
+        return self.input_tokens + self.generated
+
+    @property
+    def remaining(self) -> int:
+        return self.output_tokens - self.generated
+
+    @property
+    def is_finished(self) -> bool:
+        return self.generated >= self.output_tokens
+
+    def latency(self) -> float:
+        """End-to-end latency; only valid once finished."""
+        if self.finish_time is None:
+            raise RuntimeError(f"request {self.request_id} not finished")
+        return self.finish_time - self.arrival_time
+
+    def waiting_time(self, now: float) -> float:
+        return max(0.0, now - self.arrival_time)
+
+    def met_slo(self) -> Optional[bool]:
+        """Whether the finished request met its SLO (None if no SLO)."""
+        if self.slo_s is None:
+            return None
+        return self.latency() <= self.slo_s

@@ -1,0 +1,260 @@
+"""Scheduling policies: Algorithm 1 and the baselines it is compared to.
+
+The orchestrator's greedy heuristic (§4.4.3):
+
+1. run **merged** whenever possible — fastest, zero extra cost;
+2. when starvation appears, prefer **mixture** (no merged->unmerged
+   switch cost, extra compute only for the minority), then **unmerged**.
+
+Starvation is tracked by a per-request *credit*: waiting time plus the
+estimated execution time in the current mode plus the mode-switch
+latency; a request whose credit exceeds the tolerance θ is starving.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.runtime.modes import InferenceMode
+from repro.runtime.request import Request
+
+
+@dataclass
+class SchedulingContext:
+    """What the engine tells the policy about the world."""
+
+    now: float
+    current_mode: InferenceMode
+    current_merged: Optional[str]
+    max_batch_size: int
+    est_iteration_seconds: float
+    est_switch_seconds: float
+
+
+@dataclass
+class SchedulerDecision:
+    """What to run next."""
+
+    batch: List[Request]
+    mode: InferenceMode
+    merged_adapter: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.batch:
+            raise ValueError("a decision needs a non-empty batch")
+        if self.mode in (InferenceMode.MERGED, InferenceMode.MIXTURE):
+            if self.merged_adapter is None:
+                raise ValueError(f"{self.mode} requires a merged adapter")
+        if self.mode is InferenceMode.MERGED:
+            foreign = {
+                r.adapter_id for r in self.batch
+            } - {self.merged_adapter}
+            if foreign:
+                raise ValueError(
+                    f"merged batch contains foreign adapters {sorted(foreign)}"
+                )
+
+
+class SchedulingPolicy(abc.ABC):
+    """Picks the next batch, mode, and merged adapter."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(
+        self, candidates: Sequence[Request], ctx: SchedulingContext
+    ) -> Optional[SchedulerDecision]:
+        """Return the next decision, or ``None`` when nothing to run."""
+
+    @staticmethod
+    def _fcfs(requests: Sequence[Request]) -> List[Request]:
+        return sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+
+    @staticmethod
+    def _top_adapter(requests: Sequence[Request]) -> Optional[str]:
+        if not requests:
+            return None
+        counts = Counter(r.adapter_id for r in requests)
+        # Deterministic tie-break by adapter id.
+        return min(counts, key=lambda a: (-counts[a], a))
+
+
+class VLoRAPolicy(SchedulingPolicy):
+    """Algorithm 1: merged when possible, mixture then unmerged on starvation.
+
+    Parameters
+    ----------
+    theta:
+        Starvation tolerance in seconds of credit.
+    """
+
+    name = "V-LoRA"
+
+    def __init__(self, theta: float = 0.5):
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        self.theta = theta
+
+    def schedule(self, candidates, ctx):
+        if not candidates:
+            return None
+        max_bs = ctx.max_batch_size
+        for r in candidates:
+            r.credit = (
+                r.waiting_time(ctx.now)
+                + ctx.est_iteration_seconds
+                + ctx.est_switch_seconds
+            )
+        starve = self._fcfs([r for r in candidates if r.credit > self.theta])
+        top = self._top_adapter(candidates)
+        merge_reqs = self._fcfs(
+            [r for r in candidates if r.adapter_id == top]
+        )
+        slots_after_starve = max(0, max_bs - len(starve))
+
+        # Principle (1), §4.4.3: merged whenever possible.  When every
+        # live request wants the same adapter and nothing starves,
+        # merged execution strictly dominates regardless of queue depth
+        # (Algorithm 1's |R_merge|/MaxBS > 0.5 test is a hysteresis
+        # guard for mixed traffic, not a reason to idle in unmerged
+        # mode on single-tenant phases).
+        if not starve and len(merge_reqs) == len(candidates):
+            return SchedulerDecision(
+                batch=merge_reqs[:max_bs],
+                mode=InferenceMode.MERGED,
+                merged_adapter=top,
+            )
+
+        # Principle (2) hysteresis: while the popular adapter is already
+        # merged, leaving merged mode costs an un-merge; stay merged as
+        # long as nothing starves, and rescue starving minorities via
+        # mixture (whose switch from merged is free) before considering
+        # unmerged mode.
+        if (ctx.current_merged == top and merge_reqs
+                and ctx.current_mode in (InferenceMode.MERGED,
+                                         InferenceMode.MIXTURE)):
+            if not starve:
+                return SchedulerDecision(
+                    batch=merge_reqs[:max_bs],
+                    mode=InferenceMode.MERGED,
+                    merged_adapter=top,
+                )
+            if len(starve) / max_bs <= 0.5:
+                starve_ids = {r.request_id for r in starve}
+                fill = [
+                    r for r in merge_reqs if r.request_id not in starve_ids
+                ][:slots_after_starve]
+                return SchedulerDecision(
+                    batch=(starve + fill)[:max_bs],
+                    mode=InferenceMode.MIXTURE,
+                    merged_adapter=top,
+                )
+
+        if (len(starve) / max_bs <= 0.5
+                and len(merge_reqs) / max_bs > 0.5):
+            if not starve:
+                # Line 6-8: pure merged execution of the popular adapter.
+                return SchedulerDecision(
+                    batch=merge_reqs[:max_bs],
+                    mode=InferenceMode.MERGED,
+                    merged_adapter=top,
+                )
+            # Line 9-12: mixture — starving requests run via deLoRA
+            # alongside the merged majority.
+            starve_ids = {r.request_id for r in starve}
+            fill = [
+                r for r in merge_reqs if r.request_id not in starve_ids
+            ][:slots_after_starve]
+            return SchedulerDecision(
+                batch=(starve + fill)[:max_bs],
+                mode=InferenceMode.MIXTURE,
+                merged_adapter=top,
+            )
+        # Line 13-15: unmerged — starving first, then FCFS fill.
+        starve_ids = {r.request_id for r in starve}
+        rest = self._fcfs(
+            [r for r in candidates if r.request_id not in starve_ids]
+        )
+        batch = (starve + rest)[:max_bs]
+        return SchedulerDecision(batch=batch, mode=InferenceMode.UNMERGED)
+
+
+class UnmergedOnlyPolicy(SchedulingPolicy):
+    """S-LoRA / Punica: FCFS continuous batching, unmerged always."""
+
+    name = "unmerged-only"
+
+    def schedule(self, candidates, ctx):
+        if not candidates:
+            return None
+        batch = self._fcfs(candidates)[: ctx.max_batch_size]
+        return SchedulerDecision(batch=batch, mode=InferenceMode.UNMERGED)
+
+
+class MergedOnlyPolicy(SchedulingPolicy):
+    """Merged-only ablation (Fig. 19): serve one adapter at a time.
+
+    Sticks with the current merged adapter while it has work, then moves
+    to the adapter with the oldest waiting request (avoids permanent
+    starvation but pays small batches and frequent switches).
+    """
+
+    name = "merged-only"
+
+    def schedule(self, candidates, ctx):
+        if not candidates:
+            return None
+        by_adapter = {}
+        for r in candidates:
+            by_adapter.setdefault(r.adapter_id, []).append(r)
+        if ctx.current_merged in by_adapter:
+            target = ctx.current_merged
+        else:
+            # Adapter owning the oldest request goes next.
+            target = min(
+                by_adapter,
+                key=lambda a: min(r.arrival_time for r in by_adapter[a]),
+            )
+        batch = self._fcfs(by_adapter[target])[: ctx.max_batch_size]
+        return SchedulerDecision(
+            batch=batch, mode=InferenceMode.MERGED, merged_adapter=target
+        )
+
+
+class DLoRAPolicy(SchedulingPolicy):
+    """dLoRA-style dynamic merged/unmerged switching (no mixture mode).
+
+    Merges the dominant adapter when its share of pending requests
+    exceeds ``merge_share``; falls back to unmerged FCFS otherwise or
+    when any request has waited past ``starvation_s``.
+    """
+
+    name = "dLoRA"
+
+    def __init__(self, merge_share: float = 0.5, starvation_s: float = 1.0):
+        if not 0.0 < merge_share < 1.0:
+            raise ValueError(f"merge_share must be in (0,1), got {merge_share}")
+        self.merge_share = merge_share
+        self.starvation_s = starvation_s
+
+    def schedule(self, candidates, ctx):
+        if not candidates:
+            return None
+        top = self._top_adapter(candidates)
+        top_reqs = [r for r in candidates if r.adapter_id == top]
+        share = len(top_reqs) / len(candidates)
+        others_starving = any(
+            r.adapter_id != top and r.waiting_time(ctx.now) > self.starvation_s
+            for r in candidates
+        )
+        if share > self.merge_share and not others_starving:
+            return SchedulerDecision(
+                batch=self._fcfs(top_reqs)[: ctx.max_batch_size],
+                mode=InferenceMode.MERGED,
+                merged_adapter=top,
+            )
+        batch = self._fcfs(candidates)[: ctx.max_batch_size]
+        return SchedulerDecision(batch=batch, mode=InferenceMode.UNMERGED)

@@ -1,0 +1,29 @@
+"""Workload generators for the two vision applications (§6.1).
+
+* :mod:`repro.workloads.azure` — synthetic trace shaped like the Azure
+  LLM inference trace 2023, subsampled at a target rate (the visual
+  retrieval driver).
+* :mod:`repro.workloads.video` — video-analytics streams: one 30-frame
+  chunk per second per stream.
+* :mod:`repro.workloads.retrieval` — the visual-retrieval task mix
+  (VQA / captioning / referring expression).
+* :mod:`repro.workloads.skew` — adapter-popularity skew control used by
+  Figs. 19 and 22.
+"""
+
+from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
+from repro.workloads.diurnal import DiurnalPattern, diurnal_retrieval
+from repro.workloads.retrieval import RetrievalWorkload
+from repro.workloads.skew import skewed_adapter_sampler, zipf_shares
+from repro.workloads.video import VideoAnalyticsWorkload
+
+__all__ = [
+    "AzureTraceConfig",
+    "AzureTraceGenerator",
+    "RetrievalWorkload",
+    "VideoAnalyticsWorkload",
+    "skewed_adapter_sampler",
+    "zipf_shares",
+    "DiurnalPattern",
+    "diurnal_retrieval",
+]

@@ -1,0 +1,81 @@
+"""Diurnal (time-varying) load patterns.
+
+Production vision services see daily load swings — the Azure trace's
+rate is anything but constant.  :class:`DiurnalPattern` modulates any
+target rate over time, and :func:`diurnal_retrieval` builds a retrieval
+workload whose arrival intensity follows the pattern via thinning
+(keep an arrival at time ``t`` with probability ``rate(t)/peak``), which
+preserves the trace generator's burstiness statistics within each level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.runtime.request import Request
+from repro.workloads.retrieval import RetrievalWorkload
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """Sinusoidal rate modulation between a trough and a peak.
+
+    ``rate(t) = trough + (peak - trough) * (1 + sin(2π t / period + φ)) / 2``
+    """
+
+    peak_rps: float
+    trough_rps: float
+    period_s: float
+    phase: float = -math.pi / 2  # start at the trough by default
+
+    def __post_init__(self) -> None:
+        if self.peak_rps <= 0:
+            raise ValueError(f"peak_rps must be positive, got {self.peak_rps}")
+        if not 0 <= self.trough_rps <= self.peak_rps:
+            raise ValueError(
+                f"trough_rps must be in [0, peak_rps], got {self.trough_rps}"
+            )
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous target rate at time ``t`` (requests/s)."""
+        swing = (1.0 + math.sin(2 * math.pi * t / self.period_s
+                                + self.phase)) / 2.0
+        return self.trough_rps + (self.peak_rps - self.trough_rps) * swing
+
+    def keep_probability(self, t: float) -> float:
+        """Thinning probability for an arrival generated at the peak rate."""
+        return self.rate_at(t) / self.peak_rps
+
+
+def diurnal_retrieval(
+    workload: RetrievalWorkload,
+    pattern: DiurnalPattern,
+    seed: int = 0,
+) -> List[Request]:
+    """Thin a retrieval workload's arrivals to follow a diurnal pattern.
+
+    ``workload.rate_rps`` should equal ``pattern.peak_rps`` (the thinning
+    only removes arrivals); a mismatch is rejected to avoid silently
+    generating the wrong intensity.
+    """
+    if abs(workload.rate_rps - pattern.peak_rps) > 1e-9:
+        raise ValueError(
+            f"workload rate ({workload.rate_rps}) must equal the "
+            f"pattern peak ({pattern.peak_rps}) for thinning"
+        )
+    rng = np.random.default_rng(seed)
+    kept = [
+        r for r in workload.generate()
+        if rng.random() < pattern.keep_probability(r.arrival_time)
+    ]
+    if not kept:
+        raise ValueError(
+            "thinning removed every request; raise trough_rps or duration"
+        )
+    return kept

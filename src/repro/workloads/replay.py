@@ -1,0 +1,101 @@
+"""Request-trace files: save and replay workloads deterministically.
+
+Serving experiments gain a lot from replayable traces (the paper replays
+the Azure trace); this module defines a simple JSONL trace format so any
+generated workload can be persisted, shared, inspected, and replayed
+byte-identically across systems and runs.
+
+One line per request::
+
+    {"arrival_time": 0.41, "adapter_id": "lora-0", "input_tokens": 288,
+     "output_tokens": 180, "task_name": "visual_qa", "num_images": 1,
+     "use_task_head": false, "prefix_key": "img-3", "prefix_tokens": 256}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, List, Sequence, Union
+
+from repro.runtime.request import Request
+
+_FIELDS = (
+    "arrival_time", "adapter_id", "input_tokens", "output_tokens",
+    "task_name", "num_images", "use_task_head", "prefix_key",
+    "prefix_tokens", "slo_s",
+)
+
+
+def request_to_record(req: Request) -> dict:
+    """The JSON-serializable view of one request."""
+    return {name: getattr(req, name) for name in _FIELDS}
+
+
+def record_to_request(record: dict) -> Request:
+    """Rebuild a request from its trace record."""
+    unknown = set(record) - set(_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown trace fields: {sorted(unknown)}")
+    missing = {"arrival_time", "adapter_id", "input_tokens",
+               "output_tokens"} - set(record)
+    if missing:
+        raise ValueError(f"trace record missing fields: {sorted(missing)}")
+    return Request(**record)
+
+
+def save_trace(path: Union[str, pathlib.Path],
+               requests: Sequence[Request]) -> int:
+    """Write requests to a JSONL trace; returns the count written."""
+    path = pathlib.Path(path)
+    with open(path, "w") as fh:
+        for req in sorted(requests,
+                          key=lambda r: (r.arrival_time, r.request_id)):
+            fh.write(json.dumps(request_to_record(req), sort_keys=True))
+            fh.write("\n")
+    return len(requests)
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> List[Request]:
+    """Read a JSONL trace back into fresh Request objects."""
+    path = pathlib.Path(path)
+    requests: List[Request] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSON ({exc})"
+                ) from None
+            requests.append(record_to_request(record))
+    return requests
+
+
+def trace_stats(requests: Iterable[Request]) -> dict:
+    """Summary statistics of a trace (for inspection / CLI output)."""
+    requests = list(requests)
+    if not requests:
+        raise ValueError("empty trace")
+    arrivals = [r.arrival_time for r in requests]
+    duration = max(arrivals) - min(arrivals)
+    adapters = {}
+    tasks = {}
+    for r in requests:
+        adapters[r.adapter_id] = adapters.get(r.adapter_id, 0) + 1
+        tasks[r.task_name or "?"] = tasks.get(r.task_name or "?", 0) + 1
+    return {
+        "requests": len(requests),
+        "duration_s": round(duration, 3),
+        "rate_rps": round(len(requests) / duration, 3) if duration else None,
+        "input_tokens_total": sum(r.input_tokens for r in requests),
+        "output_tokens_total": sum(r.output_tokens for r in requests),
+        "adapters": dict(sorted(adapters.items())),
+        "tasks": dict(sorted(tasks.items())),
+        "top_adapter_share": round(
+            max(adapters.values()) / len(requests), 3
+        ),
+    }

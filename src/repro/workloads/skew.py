@@ -1,0 +1,59 @@
+"""Adapter-popularity skew (Figs. 19, 22).
+
+The paper defines *skewness* as the proportion of requests asking for the
+most-required LoRA adapter (e.g. "60% of requests asking for the same
+LoRA adapter", §6.2).  :func:`skewed_adapter_sampler` builds a sampler in
+which the top adapter receives exactly the requested share and the rest
+split the remainder evenly; :func:`zipf_shares` offers a heavier-tailed
+alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+
+def top_heavy_shares(num_adapters: int, top_share: float) -> List[float]:
+    """Top adapter gets ``top_share``; the rest split the remainder."""
+    if num_adapters <= 0:
+        raise ValueError(f"num_adapters must be positive, got {num_adapters}")
+    if not 0.0 < top_share <= 1.0:
+        raise ValueError(f"top_share must be in (0,1], got {top_share}")
+    if num_adapters == 1:
+        return [1.0]
+    if top_share < 1.0 / num_adapters:
+        raise ValueError(
+            f"top_share {top_share} below uniform share "
+            f"{1.0 / num_adapters:.3f} for {num_adapters} adapters"
+        )
+    rest = (1.0 - top_share) / (num_adapters - 1)
+    return [top_share] + [rest] * (num_adapters - 1)
+
+
+def zipf_shares(num_adapters: int, alpha: float = 1.0) -> List[float]:
+    """Zipf(alpha) popularity over ``num_adapters`` adapters."""
+    if num_adapters <= 0:
+        raise ValueError(f"num_adapters must be positive, got {num_adapters}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    weights = np.array([1.0 / (i + 1) ** alpha for i in range(num_adapters)])
+    shares = weights / weights.sum()
+    return shares.tolist()
+
+
+def skewed_adapter_sampler(
+    adapter_ids: Sequence[str],
+    top_share: float,
+    rng: np.random.Generator,
+) -> Callable[[], str]:
+    """A sampler drawing adapter ids with the given top-adapter share."""
+    ids = list(adapter_ids)
+    shares = top_heavy_shares(len(ids), top_share)
+    probs = np.asarray(shares)
+
+    def sample() -> str:
+        return ids[int(rng.choice(len(ids), p=probs))]
+
+    return sample

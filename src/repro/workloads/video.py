@@ -1,0 +1,90 @@
+"""Video-analytics workload (§6.1).
+
+Each stream ingests one 30-frame chunk per second (like the paper's
+setup, after [31, 78]).  Per chunk a stream issues:
+
+* one **video understanding** request over a 6-frame sample (input
+  6 x 256 tokens, 5-10 LM-head output tokens or 1 task-head round);
+* ``detection_frames`` **object detection** requests over sampled frames.
+
+Each stream is pinned to the adapter serving its camera's domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.generation.heads import TASK_PROFILES
+from repro.runtime.request import Request
+
+
+@dataclass
+class VideoAnalyticsWorkload:
+    """Generates fixed-rate video-analytics request streams."""
+
+    adapter_ids: Sequence[str]
+    num_streams: int = 3
+    duration_s: float = 30.0
+    detection_frames: int = 4
+    chunk_period_s: float = 1.0
+    use_task_heads: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.adapter_ids:
+            raise ValueError("need at least one adapter id")
+        if self.num_streams <= 0:
+            raise ValueError("num_streams must be positive")
+        if self.detection_frames < 0:
+            raise ValueError("detection_frames must be >= 0")
+        if self.chunk_period_s <= 0:
+            raise ValueError("chunk_period_s must be positive")
+
+    @property
+    def requests_per_second(self) -> float:
+        """Aggregate request rate across all streams."""
+        per_chunk = 1 + self.detection_frames
+        return self.num_streams * per_chunk / self.chunk_period_s
+
+    def generate(self) -> List[Request]:
+        """Build the full request list (sorted by arrival time)."""
+        rng = np.random.default_rng(self.seed)
+        vu = TASK_PROFILES["video_understanding"]
+        det = TASK_PROFILES["object_detection"]
+        requests: List[Request] = []
+        num_chunks = int(self.duration_s / self.chunk_period_s)
+        for stream in range(self.num_streams):
+            adapter = self.adapter_ids[stream % len(self.adapter_ids)]
+            # Streams start with a small phase offset like real cameras.
+            phase = float(rng.uniform(0.0, self.chunk_period_s * 0.5))
+            for chunk in range(num_chunks):
+                t0 = phase + chunk * self.chunk_period_s
+                requests.append(self._request(vu, adapter, t0, stream, rng))
+                for f in range(self.detection_frames):
+                    tf = t0 + (f + 1) * (
+                        self.chunk_period_s / (self.detection_frames + 1)
+                    )
+                    requests.append(
+                        self._request(det, adapter, tf, stream, rng)
+                    )
+        requests.sort(key=lambda r: r.arrival_time)
+        return requests
+
+    def _request(self, profile, adapter: str, arrival: float,
+                 stream: int, rng: np.random.Generator) -> Request:
+        use_head = self.use_task_heads and profile.supports_task_head
+        output = 1 if use_head else max(
+            2, int(round(profile.output_tokens_lm * rng.lognormal(0.0, 0.2)))
+        )
+        return Request(
+            adapter_id=adapter,
+            arrival_time=arrival,
+            input_tokens=profile.input_tokens,
+            output_tokens=output,
+            task_name=profile.name,
+            num_images=profile.images_per_request,
+            use_task_head=use_head,
+        )

@@ -1,0 +1,151 @@
+"""Tests for the sweep runner, comparisons, and text charts."""
+
+import pytest
+
+from repro.analysis import (
+    SweepRunner,
+    SystemComparison,
+    bar_chart,
+    line_chart,
+)
+from repro.analysis.compare import reduction_pct
+from repro.core import SystemBuilder
+from repro.workloads import RetrievalWorkload
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    builder = SystemBuilder(num_adapters=4)
+    runner = SweepRunner(builder, systems=("v-lora", "dlora"))
+
+    def factory(rate, system):
+        return RetrievalWorkload(
+            builder.adapter_ids, rate_rps=rate, duration_s=8.0,
+            use_task_heads=(system == "v-lora"), seed=2,
+        ).generate()
+
+    return runner.run("rate_rps", [4.0, 10.0], factory)
+
+
+class TestSweepRunner:
+    def test_all_cells_present(self, small_sweep):
+        assert len(small_sweep.cells) == 4
+
+    def test_series_extraction(self, small_sweep):
+        series = small_sweep.series("v-lora", "avg_token_latency_ms")
+        assert set(series) == {4.0, 10.0}
+        assert all(v > 0 for v in series.values())
+
+    def test_latency_grows_with_rate(self, small_sweep):
+        for system in ("v-lora", "dlora"):
+            series = small_sweep.series(system, "mean_latency_s")
+            assert series[10.0] > series[4.0]
+
+    def test_table_rows(self, small_sweep):
+        rows = small_sweep.table("avg_token_latency_ms")
+        assert len(rows) == 2
+        assert all(len(r) == 3 for r in rows)
+
+    def test_unknown_metric_and_system(self, small_sweep):
+        with pytest.raises(KeyError):
+            small_sweep.series("v-lora", "nope")
+        with pytest.raises(KeyError):
+            small_sweep.series("punica", "mean_latency_s")
+
+    def test_empty_factory_rejected(self):
+        builder = SystemBuilder(num_adapters=2)
+        runner = SweepRunner(builder, systems=("v-lora",))
+        with pytest.raises(ValueError, match="no requests"):
+            runner.run("x", [1], lambda v, s: [])
+
+    def test_validation(self):
+        builder = SystemBuilder(num_adapters=2)
+        with pytest.raises(ValueError):
+            SweepRunner(builder, systems=())
+        runner = SweepRunner(builder, systems=("v-lora",))
+        with pytest.raises(ValueError):
+            runner.run("x", [], lambda v, s: [])
+
+
+class TestComparison:
+    def test_reduction_pct(self):
+        assert reduction_pct(50.0, 100.0) == pytest.approx(50.0)
+        assert reduction_pct(100.0, 50.0) == pytest.approx(-100.0)
+        with pytest.raises(ValueError):
+            reduction_pct(1.0, 0.0)
+
+    def test_vlora_beats_dlora(self, small_sweep):
+        cmp = SystemComparison(small_sweep, reference="v-lora")
+        row = cmp.row("dlora")
+        assert row.mean_pct > 0
+        assert cmp.reference_wins_everywhere(tolerance_pct=1.0)
+        assert "dlora" in cmp.summary()
+
+    def test_band_format(self, small_sweep):
+        band = SystemComparison(small_sweep).row("dlora").band()
+        assert "%" in band and "-" in band
+
+    def test_unknown_reference(self, small_sweep):
+        with pytest.raises(KeyError):
+            SystemComparison(small_sweep, reference="punica")
+
+    def test_unknown_row(self, small_sweep):
+        cmp = SystemComparison(small_sweep)
+        with pytest.raises(KeyError):
+            cmp.row("s-lora")
+
+
+class TestTextPlots:
+    def test_line_chart_renders_marks(self):
+        chart = line_chart(
+            {"a": {1: 1.0, 2: 2.0}, "b": {1: 2.0, 2: 1.0}},
+            title="t", x_label="x", y_label="y",
+        )
+        assert "t" in chart
+        assert "o" in chart and "x" in chart
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_line_chart_flat_series(self):
+        chart = line_chart({"flat": {0: 5.0, 1: 5.0}})
+        assert "o" in chart
+
+    def test_line_chart_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": {1: 1.0}}, width=4)
+
+    def test_bar_chart_scales_and_refs(self):
+        chart = bar_chart({"v-lora": 5.0, "dlora": 10.0},
+                          reference="v-lora", unit="ms")
+        assert "(ref)" in chart
+        assert "2.00x" in chart
+
+    def test_bar_chart_zero_and_validation(self):
+        chart = bar_chart({"a": 0.0, "b": 1.0})
+        assert "a" in chart
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+
+class TestSaturationPoint:
+    def test_finds_the_knee(self):
+        from repro.analysis import saturation_point
+        series = {2: 5.0, 6: 8.0, 10: 20.0, 14: 60.0}
+        assert saturation_point(series) == 10
+
+    def test_none_when_stable(self):
+        from repro.analysis import saturation_point
+        assert saturation_point({1: 5.0, 2: 6.0}) is None
+
+    def test_validation(self):
+        from repro.analysis import saturation_point
+        import pytest
+        with pytest.raises(ValueError):
+            saturation_point({})
+        with pytest.raises(ValueError):
+            saturation_point({1: 1.0}, blowup=0.5)
+        with pytest.raises(ValueError):
+            saturation_point({1: 0.0})

@@ -1,0 +1,88 @@
+"""Tests for the results-report digester."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import build_report, load_results, render_report
+
+
+def write(tmp_path, name, payload):
+    with open(tmp_path / f"{name}.json", "w") as fh:
+        json.dump(payload, fh)
+
+
+class TestLoadResults:
+    def test_loads_all_json(self, tmp_path):
+        write(tmp_path, "a", {"x": 1})
+        write(tmp_path, "b", {"y": 2})
+        results = load_results(tmp_path)
+        assert set(results) == {"a", "b"}
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "nope")
+
+    def test_bad_json_reported(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(ValueError, match="bad.json"):
+            load_results(tmp_path)
+
+
+class TestDigesters:
+    def test_known_experiment_gets_title(self, tmp_path):
+        write(tmp_path, "fig07_mode_switch", {
+            "dlora": {"switch_ms": 51.0},
+            "v-lora": {"switch_ms": 5.6},
+        })
+        rows = build_report(load_results(tmp_path))
+        assert rows[0][1] == "Fig 7: mode switch"
+        assert "51.0" in rows[0][2] and "5.6" in rows[0][2]
+
+    def test_table3_digester(self, tmp_path):
+        write(tmp_path, "table3_multigpu", {
+            "1": {"throughput_rps": 10.0},
+            "2": {"throughput_rps": 20.0},
+        })
+        rows = build_report(load_results(tmp_path))
+        assert "1 GPU(s)=10.0rps" in rows[0][2]
+
+    def test_unknown_experiment_generic_digest(self, tmp_path):
+        write(tmp_path, "something_new", {"alpha": 1, "beta": 2})
+        rows = build_report(load_results(tmp_path))
+        assert rows[0][1] == "something_new"
+        assert "alpha" in rows[0][2]
+
+    def test_malformed_known_payload_falls_back(self, tmp_path):
+        write(tmp_path, "fig07_mode_switch", {"unexpected": True})
+        rows = build_report(load_results(tmp_path))
+        assert "unexpected" in rows[0][2]
+
+
+class TestRender:
+    def test_empty_dir_message(self, tmp_path):
+        out = render_report(tmp_path)
+        assert "no results" in out
+
+    def test_full_render(self, tmp_path):
+        write(tmp_path, "fig07_mode_switch", {
+            "dlora": {"switch_ms": 51.0},
+            "v-lora": {"switch_ms": 5.6},
+        })
+        out = render_report(tmp_path)
+        assert "1 experiments" in out
+        assert "results/fig07_mode_switch.json" in out
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+        write(tmp_path, "fig07_mode_switch", {
+            "dlora": {"switch_ms": 51.0},
+            "v-lora": {"switch_ms": 5.6},
+        })
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        assert "Fig 7" in capsys.readouterr().out
+
+    def test_cli_report_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+        rc = main(["report", "--results-dir", str(tmp_path / "zz")])
+        assert rc == 2

@@ -1,0 +1,99 @@
+"""Tests for the application layer and multi-app deployment."""
+
+import pytest
+
+from repro.apps import (
+    Deployment,
+    VisionApplication,
+    video_analytics_app,
+    visual_retrieval_app,
+)
+from repro.core import VLoRAConfig
+from repro.generation.fusion import KnowledgeItem
+
+
+class TestVisionApplication:
+    def test_factories_produce_valid_apps(self):
+        video = video_analytics_app(duration_s=5.0)
+        retrieval = visual_retrieval_app(duration_s=5.0)
+        assert video.knowledge and retrieval.knowledge
+        assert video.latency_slo_s == 1.0
+
+    def test_requests_carry_the_slo(self):
+        app = video_analytics_app(duration_s=3.0, latency_slo_s=2.5)
+        reqs = app.build_requests(["lora-x"])
+        assert reqs
+        assert all(r.slo_s == 2.5 for r in reqs)
+
+    def test_validation(self):
+        item = KnowledgeItem("k", "visual_qa", 0.5)
+        with pytest.raises(ValueError, match="name"):
+            VisionApplication("", [item], ["visual_qa"], lambda ids: [])
+        with pytest.raises(ValueError, match="knowledge"):
+            VisionApplication("a", [], ["visual_qa"], lambda ids: [])
+        with pytest.raises(ValueError, match="unknown tasks"):
+            VisionApplication("a", [item], ["ocr"], lambda ids: [])
+        with pytest.raises(ValueError, match="positive"):
+            VisionApplication("a", [item], ["visual_qa"], lambda ids: [],
+                              latency_slo_s=0.0)
+
+    def test_build_requests_needs_adapters(self):
+        app = visual_retrieval_app(duration_s=3.0)
+        with pytest.raises(ValueError, match="no adapters"):
+            app.build_requests([])
+
+
+class TestDeployment:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        apps = [
+            video_analytics_app(num_streams=1, duration_s=8.0,
+                                latency_slo_s=1.0, seed=1),
+            visual_retrieval_app(rate_rps=3.0, duration_s=8.0,
+                                 latency_slo_s=10.0, seed=2),
+        ]
+        return Deployment(apps, VLoRAConfig(max_batch_size=16))
+
+    def test_prepare_routes_every_app(self, deployment):
+        result = deployment.prepare()
+        assert result.num_adapters >= 2
+        for app in deployment.applications:
+            assert deployment.adapters_for(app.name)
+
+    def test_apps_route_to_their_own_knowledge(self, deployment):
+        deployment.prepare()
+        video_adapters = set(deployment.adapters_for("video-analytics"))
+        retrieval_adapters = set(
+            deployment.adapters_for("visual-retrieval")
+        )
+        # Knowledge families differ, so no adapter serves both apps here.
+        assert not video_adapters & retrieval_adapters
+
+    def test_serve_reports_per_application(self, deployment):
+        reports = deployment.serve()
+        assert set(reports) == {"video-analytics", "visual-retrieval"}
+        for report in reports.values():
+            assert report.completed > 0
+            assert report.mean_latency_s > 0
+            assert report.slo_attainment is not None
+        # The tight-SLO app (1 stream, task heads) should mostly hit it.
+        assert reports["video-analytics"].slo_attainment > 0.8
+
+    def test_duplicate_names_rejected(self):
+        app = visual_retrieval_app(duration_s=3.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            Deployment([app, app])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment([])
+
+    def test_unknown_app_lookup(self, deployment):
+        deployment.prepare()
+        with pytest.raises(KeyError):
+            deployment.adapters_for("nope")
+
+    def test_fusion_accessor_guard(self):
+        d = Deployment([visual_retrieval_app(duration_s=3.0)])
+        with pytest.raises(RuntimeError):
+            d.fusion

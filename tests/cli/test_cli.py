@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfoCommands:
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("v-lora", "s-lora", "punica", "dlora"):
+            assert name in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "Qwen-VL-7B" in out and "LLaVA-1.5-13B" in out
+
+
+class TestServe:
+    def test_serve_prints_summary(self, capsys):
+        rc = main(["serve", "--system", "v-lora", "--rate", "3",
+                   "--duration", "6", "--adapters", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg_token_latency_ms" in out
+
+    def test_serve_json_output(self, capsys):
+        rc = main(["serve", "--rate", "2", "--duration", "5",
+                   "--adapters", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] > 0
+
+    def test_serve_video_workload(self, capsys):
+        rc = main(["serve", "--workload", "video", "--rate", "2",
+                   "--duration", "5", "--adapters", "2"])
+        assert rc == 0
+        assert "avg_token_latency_ms" in capsys.readouterr().out
+
+    def test_serve_trace_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rc = main(["serve", "--rate", "2", "--duration", "5",
+                   "--adapters", "2", "--trace-out", str(trace)])
+        assert rc == 0
+        assert trace.exists()
+        capsys.readouterr()
+        rc = main(["serve", "--rate", "2", "--duration", "5",
+                   "--adapters", "2", "--trace-in", str(trace)])
+        assert rc == 0
+        assert "avg_token_latency_ms" in capsys.readouterr().out
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--system", "vllm"])
+
+
+class TestFuse:
+    def test_fusion_plan(self, capsys):
+        rc = main(["fuse", "--items",
+                   "image_classification:4:0.9,video_classification:2:0.9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 adapters" in out
+
+    def test_bad_spec_exit_code(self, capsys):
+        assert main(["fuse", "--items", "garbage"]) == 2
+        assert "bad item spec" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_renders_chart_and_summary(self, capsys):
+        rc = main(["compare", "--rates", "3,6", "--duration", "6",
+                   "--adapters", "3", "--systems", "v-lora,dlora"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "V-LoRA reduction" in out
+        assert "dlora" in out
+
+
+class TestTilingSearchCommand:
+    def test_summary_printed(self, capsys):
+        rc = main(["tiling-search", "--dim", "4096", "--rank", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winners=" in out
+        assert "m=16" in out
+
+
+class TestTraceCommands:
+    def test_generate_then_stats(self, tmp_path, capsys):
+        trace = tmp_path / "wl.jsonl"
+        rc = main(["trace", "generate", "--out", str(trace),
+                   "--rate", "4", "--duration", "8", "--adapters", "3"])
+        assert rc == 0
+        rc = main(["trace", "stats", "--path", str(trace)])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out.split("wrote")[-1]
+                           .split("\n", 1)[-1])
+        assert stats["requests"] > 0
+        assert "top_adapter_share" in stats

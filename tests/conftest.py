@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Expensive substrates (the pretrained TinyLMM, the ATMM tiling table) are
+session-scoped so the suite stays fast; tests must not mutate them
+in-place (deep-copy first, as the fusion tests do).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.hardware import A100_80GB
+from repro.kernels import ATMMOperator, GemmCostModel
+
+
+@pytest.fixture(scope="session")
+def gpu():
+    return A100_80GB
+
+
+@pytest.fixture(scope="session")
+def cost_model(gpu):
+    return GemmCostModel(gpu)
+
+
+@pytest.fixture(scope="session")
+def atmm(cost_model):
+    return ATMMOperator(cost_model)
+
+
+@pytest.fixture(scope="session")
+def pretrained_tinylmm():
+    """A small pretrained TinyLMM shared (read-only) across tests."""
+    from repro.generation import pretrain_base
+    from repro.nn import TinyLMMConfig
+
+    config = TinyLMMConfig(max_patches=12)
+    return pretrain_base(config, steps=120, seed=7)
+
+
+@pytest.fixture()
+def tinylmm_copy(pretrained_tinylmm):
+    """A mutable deep copy of the pretrained model for one test."""
+    return copy.deepcopy(pretrained_tinylmm)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,64 @@
+"""Tests for the named baseline constructors and module entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.baselines import (
+    build_dlora,
+    build_merge_only,
+    build_punica,
+    build_slora,
+    build_unmerge_only,
+    build_vlora,
+)
+from repro.kernels import ATMMOperator, EinsumOperator, PunicaOperator, SLoRAOperator
+from repro.runtime import Request
+
+
+class TestNamedConstructors:
+    def test_each_builds_the_right_operator(self):
+        assert isinstance(build_vlora(num_adapters=1).operator, ATMMOperator)
+        assert isinstance(build_slora(num_adapters=1).operator, SLoRAOperator)
+        assert isinstance(build_punica(num_adapters=1).operator,
+                          PunicaOperator)
+        assert isinstance(build_dlora(num_adapters=1).operator,
+                          EinsumOperator)
+        assert isinstance(build_merge_only(num_adapters=1).operator,
+                          ATMMOperator)
+        assert isinstance(build_unmerge_only(num_adapters=1).operator,
+                          ATMMOperator)
+
+    @pytest.mark.parametrize("builder", [
+        build_vlora, build_slora, build_punica,
+        build_dlora, build_merge_only, build_unmerge_only,
+    ])
+    def test_each_serves_a_request(self, builder):
+        engine = builder(num_adapters=2)
+        engine.submit([Request(adapter_id="lora-0", arrival_time=0.0,
+                               input_tokens=64, output_tokens=2)])
+        metrics = engine.run()
+        assert metrics.num_completed == 1
+
+    def test_kwargs_forwarded(self):
+        engine = build_vlora(num_adapters=3, max_batch_size=4)
+        assert engine.config.max_batch_size == 4
+        assert engine.adapters.num_adapters == 3
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "systems"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode == 0
+        assert "v-lora" in out.stdout
+
+    def test_bad_command_fails(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "frobnicate"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode != 0

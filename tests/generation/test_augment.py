@@ -1,0 +1,100 @@
+"""Tests for the data-enhancement module (paper §3.1 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.generation import IMAGE_CLASSIFICATION, VIDEO_CLASSIFICATION, make_domain
+from repro.generation.augment import (
+    augment_domain,
+    mixup,
+    noise_jitter,
+    videomix,
+)
+
+
+@pytest.fixture()
+def domain():
+    return make_domain(IMAGE_CLASSIFICATION, 0, n_train=48, n_test=16)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMixup:
+    def test_shapes_and_labels_preserved(self, domain, rng):
+        x, y = mixup(domain.train_x, domain.train_y, rng)
+        assert x.shape == domain.train_x.shape
+        np.testing.assert_array_equal(y, domain.train_y)
+
+    def test_outputs_are_convex_mixes(self, domain, rng):
+        x, _ = mixup(domain.train_x, domain.train_y, rng)
+        lo = np.minimum(domain.train_x.min(), x.min())
+        hi = np.maximum(domain.train_x.max(), x.max())
+        # Convexity: mixed values cannot exceed the original range.
+        assert x.min() >= domain.train_x.min() - 1e-5
+        assert x.max() <= domain.train_x.max() + 1e-5
+        assert lo <= hi
+
+    def test_validation(self, domain, rng):
+        with pytest.raises(ValueError):
+            mixup(domain.train_x, domain.train_y, rng, alpha=0.0)
+
+
+class TestVideoMix:
+    def test_head_frames_untouched(self, rng):
+        d = make_domain(VIDEO_CLASSIFICATION, 0, n_train=24, n_test=8)
+        x, y = videomix(d.train_x, d.train_y, rng, max_cut_fraction=0.4)
+        patches = d.train_x.shape[1]
+        head = patches - int(patches * 0.4)
+        np.testing.assert_allclose(x[:, :head], d.train_x[:, :head])
+        np.testing.assert_array_equal(y, d.train_y)
+
+    def test_some_tails_spliced(self, rng):
+        d = make_domain(VIDEO_CLASSIFICATION, 0, n_train=24, n_test=8)
+        x, _ = videomix(d.train_x, d.train_y, rng)
+        assert not np.allclose(x, d.train_x)
+
+    def test_validation(self, domain, rng):
+        with pytest.raises(ValueError):
+            videomix(domain.train_x, domain.train_y, rng,
+                     max_cut_fraction=0.8)
+
+
+class TestNoiseAndWrapper:
+    def test_noise_scale_zero_is_identity(self, domain, rng):
+        x, _ = noise_jitter(domain.train_x, domain.train_y, rng, scale=0.0)
+        np.testing.assert_allclose(x, domain.train_x)
+
+    def test_augment_domain_grows_training_split(self, domain):
+        out = augment_domain(domain, strategy="mixup", copies=2, seed=1)
+        assert out.num_train == 3 * domain.num_train
+        assert out.num_test == domain.num_test
+        np.testing.assert_allclose(out.test_x, domain.test_x)
+        assert out.name.endswith("+mixup")
+        assert out.prompt_id == domain.prompt_id
+
+    def test_augment_deterministic(self, domain):
+        a = augment_domain(domain, strategy="noise", seed=3)
+        b = augment_domain(domain, strategy="noise", seed=3)
+        np.testing.assert_allclose(a.train_x, b.train_x)
+
+    def test_unknown_strategy(self, domain):
+        with pytest.raises(KeyError, match="mixup"):
+            augment_domain(domain, strategy="cutout")
+
+    def test_validation(self, domain):
+        with pytest.raises(ValueError):
+            augment_domain(domain, copies=0)
+
+    def test_augmented_domain_trains(self, domain, tinylmm_copy):
+        """End-to-end: the enlarged dataset drives LoRA training."""
+        from repro.generation import LoRATrainer
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model, steps_per_domain=40)
+        augmented = augment_domain(domain, strategy="mixup", copies=1)
+        trainer.train([augmented])
+        acc = trainer.evaluate([augmented]).per_domain[augmented.name]
+        assert acc > 0.7

@@ -1,0 +1,134 @@
+"""Tests for the synthetic domain dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.generation import (
+    IMAGE_CLASSIFICATION,
+    OBJECT_DETECTION,
+    TASK_FAMILIES,
+    VIDEO_CLASSIFICATION,
+    make_domain,
+    make_domains,
+)
+from repro.generation.datasets import (
+    TaskFamily,
+    family_prototypes,
+    make_pretraining_mixture,
+)
+
+
+class TestTaskFamilies:
+    def test_registry_covers_three_families(self):
+        assert set(TASK_FAMILIES) == {
+            "image_classification", "object_detection", "video_classification",
+        }
+
+    def test_interference_ordering(self):
+        """Image < detection < video in conflict (the Fig. 5 mechanism)."""
+        assert IMAGE_CLASSIFICATION.conflict_fraction == 0.0
+        assert 0 < OBJECT_DETECTION.conflict_fraction < \
+            VIDEO_CLASSIFICATION.conflict_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskFamily(name="x", conflict_fraction=1.5)
+        with pytest.raises(ValueError):
+            TaskFamily(name="x", num_classes=1)
+        with pytest.raises(ValueError):
+            TaskFamily(name="x", shift_rank=-1)
+
+
+class TestPrototypes:
+    def test_family_prototypes_orthonormal(self):
+        protos = family_prototypes(IMAGE_CLASSIFICATION)
+        gram = protos @ protos.T
+        np.testing.assert_allclose(gram, np.eye(len(protos)), atol=1e-5)
+
+    def test_prototypes_stable_across_calls(self):
+        a = family_prototypes(VIDEO_CLASSIFICATION)
+        b = family_prototypes(VIDEO_CLASSIFICATION)
+        np.testing.assert_allclose(a, b)
+
+    def test_families_have_distinct_prototypes(self):
+        a = family_prototypes(IMAGE_CLASSIFICATION)
+        b = family_prototypes(VIDEO_CLASSIFICATION)
+        assert not np.allclose(a[:6], b[:6])
+
+
+class TestMakeDomain:
+    def test_shapes_and_labels(self):
+        d = make_domain(IMAGE_CLASSIFICATION, 0, n_train=32, n_test=16)
+        assert d.train_x.shape == (32, 8, 32)
+        assert d.test_x.shape == (16, 8, 32)
+        assert d.train_y.min() >= 0
+        assert d.train_y.max() < IMAGE_CLASSIFICATION.num_classes
+
+    def test_deterministic_per_index(self):
+        a = make_domain(OBJECT_DETECTION, 3, n_train=8, n_test=8)
+        b = make_domain(OBJECT_DETECTION, 3, n_train=8, n_test=8)
+        np.testing.assert_allclose(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.train_y, b.train_y)
+
+    def test_distinct_indices_distinct_data(self):
+        a = make_domain(OBJECT_DETECTION, 0, n_train=8, n_test=8)
+        b = make_domain(OBJECT_DETECTION, 1, n_train=8, n_test=8)
+        assert not np.allclose(a.train_x, b.train_x)
+
+    def test_video_has_more_patches(self):
+        d = make_domain(VIDEO_CLASSIFICATION, 0, n_train=4, n_test=4)
+        assert d.train_x.shape[1] == VIDEO_CLASSIFICATION.patches == 12
+
+    def test_video_labels_conflict_with_pretraining(self):
+        """With conflict_fraction=0.75, most labels are permuted away
+        from the canonical prototype index."""
+        d = make_domain(VIDEO_CLASSIFICATION, 1, n_train=256, n_test=8)
+        protos = family_prototypes(VIDEO_CLASSIFICATION)
+        pooled = d.train_x.mean(axis=1)
+        canonical = (pooled @ protos.T).argmax(axis=1)
+        agreement = (canonical == d.train_y).mean()
+        assert agreement < 0.6
+
+    def test_image_labels_shifted_but_consistent(self):
+        """Image domains are separable: same-label samples cluster."""
+        d = make_domain(IMAGE_CLASSIFICATION, 0, n_train=256, n_test=8)
+        pooled = d.train_x.mean(axis=1)
+        centroids = np.stack([
+            pooled[d.train_y == c].mean(axis=0)
+            for c in range(IMAGE_CLASSIFICATION.num_classes)
+        ])
+        nearest = ((pooled[:, None, :] - centroids[None]) ** 2).sum(-1).argmin(1)
+        assert (nearest == d.train_y).mean() > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_domain(IMAGE_CLASSIFICATION, 0, n_train=0)
+
+    def test_prompt_defaults_to_index(self):
+        d = make_domain(IMAGE_CLASSIFICATION, 5, n_train=4, n_test=4)
+        assert d.prompt_id == 5
+        assert (d.train_prompts() == 5).all()
+
+
+class TestMakeDomains:
+    def test_count_and_names(self):
+        doms = make_domains(OBJECT_DETECTION, 4, n_train=4, n_test=4)
+        assert len(doms) == 4
+        assert len({d.name for d in doms}) == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_domains(OBJECT_DETECTION, 0)
+
+
+class TestPretrainingMixture:
+    def test_shapes_aligned(self):
+        x, y, p = make_pretraining_mixture(domains_per_family=2,
+                                           n_per_domain=8)
+        assert x.shape[0] == y.shape[0] == p.shape[0]
+        assert x.shape[1] == 12  # padded to the video patch count
+
+    def test_mixture_covers_all_families(self):
+        x, y, p = make_pretraining_mixture(domains_per_family=1,
+                                           n_per_domain=4)
+        assert x.shape[0] == 3 * 4

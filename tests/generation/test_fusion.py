@@ -1,0 +1,152 @@
+"""Tests for the accuracy-aware knowledge-fusion algorithm (§4.2.1)."""
+
+import pytest
+
+from repro.generation import (
+    FusionAccuracyOracle,
+    KnowledgeFusion,
+    KnowledgeItem,
+    OracleEvaluator,
+)
+from repro.generation.fusion import AccuracyEvaluator
+
+
+def items(family, count, req):
+    return [
+        KnowledgeItem(f"{family}-{i}", family, req) for i in range(count)
+    ]
+
+
+class TestKnowledgeItem:
+    def test_requirement_bounds(self):
+        with pytest.raises(ValueError):
+            KnowledgeItem("x", "image_classification", 1.5)
+
+
+class TestOracleFusion:
+    def test_image_domains_pack_into_one_adapter(self):
+        """Image classification fuses 6 domains above a 90% floor (Fig. 5)."""
+        fusion = KnowledgeFusion(OracleEvaluator())
+        result = fusion.fuse(items("image_classification", 6, 0.90))
+        assert result.num_adapters == 1
+        assert result.adapters[0].num_domains == 6
+        assert not result.violations
+
+    def test_video_domains_mostly_split(self):
+        """Video classification cannot share adapters at a high floor."""
+        fusion = KnowledgeFusion(OracleEvaluator())
+        result = fusion.fuse(items("video_classification", 4, 0.90))
+        assert result.num_adapters == 4
+
+    def test_detection_lands_in_between(self):
+        fusion = KnowledgeFusion(OracleEvaluator())
+        img = fusion.fuse(items("image_classification", 6, 0.88)).num_adapters
+        det = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("object_detection", 6, 0.88)
+        ).num_adapters
+        vid = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("video_classification", 6, 0.88)
+        ).num_adapters
+        assert img <= det <= vid
+        assert img < vid
+
+    def test_lower_requirement_fewer_adapters(self):
+        loose = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("video_classification", 6, 0.30)
+        )
+        tight = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("video_classification", 6, 0.90)
+        )
+        assert loose.num_adapters <= tight.num_adapters
+
+    def test_adapters_meet_requirements(self):
+        result = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("object_detection", 5, 0.80)
+        )
+        for adapter in result.adapters:
+            assert adapter.meets_requirements()
+
+    def test_impossible_requirement_recorded_as_violation(self):
+        result = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("video_classification", 2, 0.999)
+        )
+        assert result.violations
+        assert result.num_adapters == 2  # best effort: one each
+
+    def test_rollback_count(self):
+        result = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("video_classification", 3, 0.90)
+        )
+        assert result.num_rollbacks == 2
+        assert result.num_evaluations >= 3
+
+    def test_mixed_families_pack_greedily(self):
+        mixed = (
+            items("image_classification", 3, 0.90)
+            + items("video_classification", 2, 0.90)
+        )
+        result = KnowledgeFusion(OracleEvaluator()).fuse(mixed)
+        # Greedy order: 3 images fuse; each video needs its own bin.
+        assert result.num_adapters == 3
+        assert result.adapters[0].num_domains == 3
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeFusion(OracleEvaluator()).fuse([])
+
+    def test_adapter_ids_unique_and_prefixed(self):
+        result = KnowledgeFusion(
+            OracleEvaluator(), adapter_prefix="vl"
+        ).fuse(items("video_classification", 3, 0.90))
+        ids = [a.adapter_id for a in result.adapters]
+        assert len(set(ids)) == len(ids)
+        assert all(i.startswith("vl-") for i in ids)
+
+    def test_mean_domains_per_adapter(self):
+        result = KnowledgeFusion(OracleEvaluator()).fuse(
+            items("image_classification", 4, 0.90)
+        )
+        assert result.mean_domains_per_adapter == pytest.approx(4.0)
+
+
+class _FlakyEvaluator(AccuracyEvaluator):
+    """Always reports failure; exercises the rollback path fully."""
+
+    def __init__(self):
+        self.began = 0
+
+    def begin_adapter(self):
+        self.began += 1
+
+    def try_fuse(self, fused, new_item):
+        value = 1.0 if not fused else 0.0
+        return {i.name: value for i in (*fused, new_item)}
+
+    def commit(self):
+        pass
+
+    def rollback(self):
+        pass
+
+
+def test_every_item_gets_its_own_adapter_in_worst_case():
+    """§4.2.1: 'the worst case may generate one LoRA adapter per dataset'."""
+    evaluator = _FlakyEvaluator()
+    result = KnowledgeFusion(evaluator).fuse(
+        items("image_classification", 5, 0.5)
+    )
+    assert result.num_adapters == 5
+    assert evaluator.began == 5
+
+
+class TestOracleEvaluatorProtocol:
+    def test_commit_without_try_rejected(self):
+        ev = OracleEvaluator()
+        ev.begin_adapter()
+        with pytest.raises(RuntimeError):
+            ev.commit()
+
+    def test_unknown_family_rejected(self):
+        ev = OracleEvaluator(FusionAccuracyOracle())
+        with pytest.raises(KeyError):
+            ev.try_fuse([], KnowledgeItem("x", "poetry", 0.5))

@@ -1,0 +1,59 @@
+"""Tests for vision-task profiles (§4.2.2, Appx. C)."""
+
+import pytest
+
+from repro.generation import TASK_PROFILES, get_task_profile
+from repro.generation.heads import TaskProfile, application_tasks
+
+
+class TestProfiles:
+    def test_five_tasks_registered(self):
+        assert set(TASK_PROFILES) == {
+            "visual_qa", "image_caption", "referring_expression",
+            "object_detection", "video_understanding",
+        }
+
+    def test_applications_partition_tasks(self):
+        retrieval = {t.name for t in application_tasks("visual_retrieval")}
+        video = {t.name for t in application_tasks("video_analytics")}
+        assert retrieval | video == set(TASK_PROFILES)
+        assert not retrieval & video
+
+    def test_video_understanding_token_shape(self):
+        """§6.2: 6 x 256 input tokens, 5-10 LM output tokens."""
+        vu = get_task_profile("video_understanding")
+        assert vu.input_tokens >= 6 * 256
+        assert 5 <= vu.output_tokens_lm <= 10
+        assert vu.images_per_request == 6
+
+    def test_vqa_is_decode_heavy(self):
+        """§6.2: VQA has ~256 input and 200+ output tokens."""
+        vqa = get_task_profile("visual_qa")
+        assert vqa.output_tokens_lm >= 200 * 0.9
+        assert not vqa.supports_task_head
+
+    def test_task_head_saves_rounds(self):
+        vu = get_task_profile("video_understanding")
+        assert vu.decode_rounds(use_task_head=True) == 1
+        assert vu.decode_rounds(use_task_head=False) == vu.output_tokens_lm
+
+    def test_lm_only_task_rejects_head(self):
+        with pytest.raises(ValueError):
+            get_task_profile("visual_qa").decode_rounds(use_task_head=True)
+
+    def test_ucf101_classes_on_video_head(self):
+        assert get_task_profile("video_understanding").num_classes == 101
+
+    def test_unknown_task_lists_known(self):
+        with pytest.raises(KeyError, match="visual_qa"):
+            get_task_profile("ocr")
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError):
+            application_tasks("robotics")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            TaskProfile("x", "visual_retrieval", 0, 10)
+        with pytest.raises(ValueError):
+            TaskProfile("x", "nope", 10, 10)

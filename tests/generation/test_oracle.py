@@ -1,0 +1,79 @@
+"""Tests for the calibrated fusion-accuracy oracle."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.generation import FusionAccuracyOracle
+from repro.generation.oracle import DEFAULT_CURVES, FusionCurve
+
+
+class TestFusionCurve:
+    def test_solo_is_max(self):
+        curve = FusionCurve(solo=0.95, slope=0.05)
+        assert curve.accuracy(1) == pytest.approx(0.95)
+
+    def test_monotone_decreasing(self):
+        curve = FusionCurve(solo=0.95, slope=0.05, curvature=0.01)
+        accs = [curve.accuracy(k) for k in range(1, 10)]
+        assert all(a >= b for a, b in zip(accs, accs[1:]))
+
+    def test_floor_respected(self):
+        curve = FusionCurve(solo=0.9, slope=0.5, floor=0.2)
+        assert curve.accuracy(50) == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            FusionCurve(solo=0.9, slope=0.1).accuracy(0)
+
+
+class TestOracle:
+    def test_fig5_trend_ordering(self):
+        """At 6 fused domains: image >> detection >> video (Fig. 5)."""
+        oracle = FusionAccuracyOracle(jitter=0.0)
+        img = oracle.accuracy("image_classification", 6)
+        det = oracle.accuracy("object_detection", 6)
+        vid = oracle.accuracy("video_classification", 6)
+        assert img > 0.94          # paper: >95% retained
+        assert vid < 0.75          # paper: remarkable decrease
+        assert img > det > vid
+
+    def test_jitter_is_deterministic_per_salt(self):
+        oracle = FusionAccuracyOracle()
+        a = oracle.accuracy("object_detection", 3, salt="d1")
+        b = oracle.accuracy("object_detection", 3, salt="d1")
+        c = oracle.accuracy("object_detection", 3, salt="d2")
+        assert a == b
+        assert a != c
+
+    def test_jitter_bounded(self):
+        oracle = FusionAccuracyOracle(jitter=0.01)
+        base = FusionAccuracyOracle(jitter=0.0)
+        for salt in ("a", "b", "c", "d"):
+            diff = abs(
+                oracle.accuracy("visual_qa", 2, salt=salt)
+                - base.accuracy("visual_qa", 2)
+            )
+            assert diff <= 0.01 + 1e-9
+
+    def test_unknown_family_lists_known(self):
+        with pytest.raises(KeyError, match="image_classification"):
+            FusionAccuracyOracle().accuracy("unknown", 1)
+
+    def test_max_fusable(self):
+        oracle = FusionAccuracyOracle()
+        img = oracle.max_fusable("image_classification", 0.90)
+        vid = oracle.max_fusable("video_classification", 0.90)
+        assert img > vid >= 1
+
+    def test_max_fusable_validation(self):
+        with pytest.raises(ValueError):
+            FusionAccuracyOracle().max_fusable("visual_qa", 1.5)
+
+    @given(
+        family=st.sampled_from(sorted(DEFAULT_CURVES)),
+        k=st.integers(1, 20),
+        salt=st.text(min_size=0, max_size=8),
+    )
+    def test_accuracy_always_a_probability(self, family, k, salt):
+        acc = FusionAccuracyOracle().accuracy(family, k, salt=salt)
+        assert 0.0 <= acc <= 1.0

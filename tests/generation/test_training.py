@@ -1,0 +1,156 @@
+"""Integration tests over real training: small models, LoRA, fusion.
+
+These run the numpy substrate for real, at small scale; they encode the
+paper's accuracy-side claims qualitatively (Figs. 3-5).
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.generation import (
+    IMAGE_CLASSIFICATION,
+    VIDEO_CLASSIFICATION,
+    KnowledgeFusion,
+    KnowledgeItem,
+    LoRATrainer,
+    TrainerEvaluator,
+    make_domain,
+    make_domains,
+    train_small_model,
+)
+
+
+@pytest.fixture()
+def image_domain():
+    return make_domain(IMAGE_CLASSIFICATION, 0, n_train=96, n_test=64)
+
+
+class TestSmallModels:
+    def test_learns_home_domain(self, image_domain):
+        model = train_small_model(image_domain, steps=120)
+        acc = model.accuracy(image_domain.test_x, image_domain.test_y)
+        assert acc > 0.8
+
+    def test_brittle_off_domain(self, image_domain):
+        """Fig. 3's premise: small models do not transfer."""
+        model = train_small_model(image_domain, steps=120)
+        other = make_domain(IMAGE_CLASSIFICATION, 1, n_train=8, n_test=64)
+        home = model.accuracy(image_domain.test_x, image_domain.test_y)
+        away = model.accuracy(other.test_x, other.test_y)
+        assert away < home
+
+    def test_predict_distills_labels(self, image_domain):
+        model = train_small_model(image_domain, steps=120)
+        preds = model.predict(image_domain.test_x)
+        assert preds.shape == (image_domain.num_test,)
+        assert (preds == image_domain.test_y).mean() > 0.8
+
+    def test_validation(self, image_domain):
+        with pytest.raises(ValueError):
+            train_small_model(image_domain, steps=0)
+
+
+class TestLoRATrainer:
+    def test_requires_installed_lora(self, pretrained_tinylmm):
+        with pytest.raises(ValueError):
+            LoRATrainer(copy.deepcopy(pretrained_tinylmm))
+
+    def test_lora_gain_on_shifted_domain(self, tinylmm_copy, image_domain):
+        """Fig. 4: fine-tuned LoRA lifts accuracy on the shifted domain."""
+        model = tinylmm_copy
+        x = image_domain.test_x
+        pad = np.repeat(x[:, -1:, :], 12 - x.shape[1], axis=1)
+        x12 = np.concatenate([x, pad], axis=1)
+        base_acc = model.accuracy(x12, image_domain.test_prompts(),
+                                  image_domain.test_y)
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model, steps_per_domain=60)
+        trainer.train([image_domain])
+        tuned = trainer.evaluate([image_domain]).per_domain[image_domain.name]
+        assert tuned > base_acc + 0.1
+        assert tuned > 0.8
+
+    def test_evaluate_reports_every_domain(self, tinylmm_copy):
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model, steps_per_domain=20)
+        doms = make_domains(IMAGE_CLASSIFICATION, 2, n_train=48, n_test=32)
+        trainer.train(doms)
+        result = trainer.evaluate(doms)
+        assert set(result.per_domain) == {d.name for d in doms}
+        assert 0 <= result.min_accuracy <= result.mean_accuracy <= 1
+
+    def test_meets_requirements_helper(self, tinylmm_copy, image_domain):
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model, steps_per_domain=60)
+        trainer.train([image_domain])
+        result = trainer.evaluate([image_domain])
+        assert result.meets({image_domain.name: 0.5})
+        assert not result.meets({image_domain.name: 1.01})
+
+    def test_validation(self, tinylmm_copy):
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            LoRATrainer(model, lr=0.0)
+        trainer = LoRATrainer(model)
+        with pytest.raises(ValueError):
+            trainer.train([])
+
+
+class TestVideoInterference:
+    def test_fusing_conflicting_domains_degrades(self, tinylmm_copy):
+        """Fig. 5's video curve: two conflicting domains hurt each other."""
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model, steps_per_domain=60)
+        doms = make_domains(VIDEO_CLASSIFICATION, 2, n_train=96, n_test=64)
+        trainer.train([doms[0]])
+        solo = trainer.evaluate([doms[0]]).per_domain[doms[0].name]
+        trainer.train(doms)
+        fused = trainer.evaluate(doms).min_accuracy
+        assert solo > 0.75
+        assert fused < solo - 0.15
+
+
+class TestTrainerEvaluatorFusion:
+    def test_real_training_fusion_splits_video(self, tinylmm_copy):
+        """End-to-end §4.2.1 on the real substrate: conflicting video
+        domains trigger a rollback and a second adapter."""
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model, steps_per_domain=50)
+        doms = make_domains(VIDEO_CLASSIFICATION, 2, n_train=96, n_test=64)
+        items = [
+            KnowledgeItem(d.name, d.family.name, 0.7, dataset=d)
+            for d in doms
+        ]
+        result = KnowledgeFusion(TrainerEvaluator(trainer)).fuse(items)
+        assert result.num_adapters == 2
+        assert result.num_rollbacks == 1
+
+    def test_real_training_fusion_packs_images(self, tinylmm_copy):
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model, steps_per_domain=50)
+        doms = make_domains(IMAGE_CLASSIFICATION, 2, n_train=96, n_test=64)
+        items = [
+            KnowledgeItem(d.name, d.family.name, 0.7, dataset=d)
+            for d in doms
+        ]
+        result = KnowledgeFusion(TrainerEvaluator(trainer)).fuse(items)
+        assert result.num_adapters == 1
+        assert result.adapters[0].num_domains == 2
+
+    def test_missing_dataset_rejected(self, tinylmm_copy):
+        model = tinylmm_copy
+        model.add_lora(4, rng=np.random.default_rng(0))
+        trainer = LoRATrainer(model)
+        evaluator = TrainerEvaluator(trainer)
+        with pytest.raises(ValueError):
+            evaluator.try_fuse(
+                [], KnowledgeItem("x", "image_classification", 0.5)
+            )

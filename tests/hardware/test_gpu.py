@@ -1,0 +1,52 @@
+"""Tests for GPU specs and derived quantities."""
+
+import pytest
+
+from repro.hardware import A10, A100_80GB, H100_80GB, GPUSpec, get_gpu, list_gpus
+
+
+class TestGPUSpec:
+    def test_a100_headline_numbers(self):
+        assert A100_80GB.num_sms == 108
+        assert A100_80GB.tensor_tflops_fp16 == 312.0
+        assert A100_80GB.hbm_capacity_gb == 80.0
+
+    def test_derived_units(self):
+        assert A100_80GB.tensor_flops == pytest.approx(312e12)
+        assert A100_80GB.hbm_bytes_per_s == pytest.approx(2039e9)
+        assert A100_80GB.hbm_capacity_bytes == 80 * (1 << 30)
+        assert A100_80GB.shared_mem_per_sm_bytes == 164 * 1024
+
+    def test_flops_per_sm_splits_evenly(self):
+        total = A100_80GB.flops_per_sm(tensor=True) * A100_80GB.num_sms
+        assert total == pytest.approx(A100_80GB.tensor_flops)
+
+    def test_cuda_cores_slower_than_tensor(self):
+        for spec in (A100_80GB, A10, H100_80GB):
+            assert spec.cuda_flops < spec.tensor_flops
+
+    def test_invalid_sm_count_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(name="bad", num_sms=0, sm_clock_ghz=1.0,
+                    tensor_tflops_fp16=1.0, cuda_tflops_fp16=1.0,
+                    hbm_bandwidth_gbps=100.0, hbm_capacity_gb=8.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(name="bad", num_sms=10, sm_clock_ghz=1.0,
+                    tensor_tflops_fp16=1.0, cuda_tflops_fp16=1.0,
+                    hbm_bandwidth_gbps=-1.0, hbm_capacity_gb=8.0)
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert get_gpu("A100-80GB") is A100_80GB
+
+    def test_lookup_unknown_names_alternatives(self):
+        with pytest.raises(KeyError, match="A100-80GB"):
+            get_gpu("B200")
+
+    def test_list_is_sorted_and_complete(self):
+        names = list_gpus()
+        assert names == sorted(names)
+        assert "A100-80GB" in names and "H100-80GB" in names

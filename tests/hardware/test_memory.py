@@ -1,0 +1,95 @@
+"""Tests for the memory hierarchy and transfer models."""
+
+import pytest
+
+from repro.hardware import A100_80GB, HostLink, MemoryHierarchy, TransferModel
+from repro.models import QWEN_VL_7B, LoRAAdapterSpec
+from repro.models.zoo import SMALL_MODEL_INIT_S_PER_MB, SMALL_MODELS
+
+
+class TestHostLink:
+    def test_zero_bytes_is_free(self):
+        assert HostLink(25.0).transfer_seconds(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            HostLink(25.0).transfer_seconds(-1)
+
+    def test_latency_plus_bandwidth(self):
+        link = HostLink(bandwidth_gbps=25.0, latency_us=10.0)
+        t = link.transfer_seconds(25_000_000_000)  # 25 GB
+        assert t == pytest.approx(1.0 + 10e-6)
+
+    def test_monotone_in_size(self):
+        link = HostLink(25.0)
+        assert link.transfer_seconds(1 << 20) < link.transfer_seconds(1 << 24)
+
+
+class TestMemoryHierarchy:
+    def test_smem_double_buffering_halves_capacity(self):
+        hier = MemoryHierarchy(A100_80GB)
+        cap = A100_80GB.shared_mem_per_sm_bytes
+        assert hier.smem_fits(cap // 2, double_buffered=True)
+        assert not hier.smem_fits(cap // 2 + 1, double_buffered=True)
+        assert hier.smem_fits(cap, double_buffered=False)
+
+    def test_regfile_scales_with_warps(self):
+        hier = MemoryHierarchy(A100_80GB)
+        per_warp = A100_80GB.register_file_per_sm_bytes // 8
+        assert hier.regfile_fits(per_warp, 4, double_buffered=False)
+        assert not hier.regfile_fits(per_warp, 16, double_buffered=False)
+
+    def test_hbm_fits_bounds(self):
+        hier = MemoryHierarchy(A100_80GB)
+        assert hier.hbm_fits(A100_80GB.hbm_capacity_bytes)
+        assert not hier.hbm_fits(A100_80GB.hbm_capacity_bytes + 1)
+        assert not hier.hbm_fits(-1)
+
+
+class TestTransferModel:
+    """§3.1: adapter swap ~15 ms; YOLO ~110 ms; OSCAR ~520 ms."""
+
+    @pytest.fixture()
+    def transfer(self):
+        return TransferModel(A100_80GB)
+
+    def test_adapter_swap_near_paper(self, transfer):
+        spec = LoRAAdapterSpec("a", QWEN_VL_7B)
+        t = transfer.swap_seconds(spec.ab_bytes)
+        assert 0.010 < t < 0.025  # paper: 15 ms
+
+    def test_yolo_swap_near_paper(self, transfer):
+        yolo = SMALL_MODELS["YOLO"]
+        t = transfer.swap_seconds(yolo.size_bytes) \
+            + yolo.size_mb * SMALL_MODEL_INIT_S_PER_MB
+        assert 0.08 < t < 0.15  # paper: 110 ms
+
+    def test_oscar_swap_near_paper(self, transfer):
+        oscar = SMALL_MODELS["OSCAR"]
+        t = transfer.swap_seconds(oscar.size_bytes) \
+            + oscar.size_mb * SMALL_MODEL_INIT_S_PER_MB
+        assert 0.4 < t < 0.65  # paper: 520 ms
+
+    def test_adapter_swap_beats_small_models(self, transfer):
+        adapter = transfer.swap_seconds(LoRAAdapterSpec("a", QWEN_VL_7B).ab_bytes)
+        yolo = SMALL_MODELS["YOLO"]
+        yolo_t = transfer.swap_seconds(yolo.size_bytes) \
+            + yolo.size_mb * SMALL_MODEL_INIT_S_PER_MB
+        assert adapter < 0.25 * yolo_t  # paper: saves 86% vs YOLO
+
+    def test_async_overlap_hides_wire_time(self, transfer):
+        nbytes = 500_000_000
+        sync = transfer.swap_seconds(nbytes, async_overlap=0.0)
+        hidden = transfer.swap_seconds(nbytes, async_overlap=1.0)
+        assert hidden < sync
+        assert hidden == pytest.approx(TransferModel.SWAP_SOFTWARE_OVERHEAD_S)
+
+    def test_async_overlap_bounds(self, transfer):
+        with pytest.raises(ValueError):
+            transfer.swap_seconds(100, async_overlap=1.5)
+
+    def test_delta_w_swap_far_slower_than_ab(self, transfer):
+        """§4.4.1: swapping materialized ΔW is prohibitive."""
+        spec = LoRAAdapterSpec("a", QWEN_VL_7B)
+        assert transfer.swap_seconds(spec.delta_w_bytes) > \
+            3 * transfer.swap_seconds(spec.ab_bytes)

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the full V-LoRA pipeline.
+
+These tests exercise the seams between packages: distillation -> fusion
+-> facade -> engine -> metrics -> analysis -> trace replay, and the
+conservation properties the whole system must uphold.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    KnowledgeItem,
+    RetrievalWorkload,
+    SystemBuilder,
+    VideoAnalyticsWorkload,
+    VLoRA,
+    VLoRAConfig,
+)
+from repro.analysis import SweepRunner, SystemComparison
+from repro.runtime import Request
+from repro.workloads.replay import load_trace, save_trace
+
+
+class TestOfflineToOnline:
+    def test_fusion_to_serving_pipeline(self):
+        """Oracle fusion plans adapters; the engine serves against them;
+        the adapter ids flow through completion records."""
+        vlora = VLoRA(VLoRAConfig(max_batch_size=16))
+        result = vlora.prepare_adapters(
+            [KnowledgeItem(f"img-{i}", "image_classification", 0.9)
+             for i in range(3)]
+            + [KnowledgeItem("vid-0", "video_classification", 0.9)]
+        )
+        workload = RetrievalWorkload(vlora.adapter_ids, rate_rps=3.0,
+                                     duration_s=10.0, seed=17)
+        metrics = vlora.serve(workload.generate())
+        served_adapters = set(metrics.by_adapter())
+        assert served_adapters <= set(vlora.adapter_ids)
+        assert metrics.num_completed > 0
+        assert result.num_adapters == len(vlora.adapter_ids)
+
+    def test_mixed_head_types_from_fusion(self):
+        """Adapters with task heads serve 1-round requests; LM-head
+        adapters serve autoregressive ones, in the same engine run."""
+        vlora = VLoRA(VLoRAConfig(max_batch_size=16))
+        vlora.prepare_adapters([
+            # A floor the video domain only meets alone, so fusion
+            # rolls back and the QA domain lands in its own adapter.
+            KnowledgeItem("vid-0", "video_classification", 0.9),
+            KnowledgeItem("qa-0", "visual_qa", 0.7),
+        ])
+        headed = [s for s in vlora.adapter_specs if s.has_task_head]
+        plain = [s for s in vlora.adapter_specs if not s.has_task_head]
+        assert headed and plain
+        reqs = [
+            Request(adapter_id=headed[0].adapter_id, arrival_time=0.0,
+                    input_tokens=256, output_tokens=1, use_task_head=True),
+            Request(adapter_id=plain[0].adapter_id, arrival_time=0.0,
+                    input_tokens=256, output_tokens=40),
+        ]
+        metrics = vlora.serve(reqs)
+        assert metrics.num_completed == 2
+
+
+class TestConservation:
+    """Every submitted request completes exactly once with sane times."""
+
+    @pytest.mark.parametrize("system", ["v-lora", "s-lora", "punica",
+                                        "dlora", "merge-only",
+                                        "unmerge-only"])
+    def test_request_conservation_per_system(self, system):
+        builder = SystemBuilder(num_adapters=4, max_batch_size=16)
+        engine = builder.build(system)
+        wl = RetrievalWorkload(builder.adapter_ids, rate_rps=6.0,
+                               duration_s=8.0, seed=31)
+        requests = wl.generate()
+        engine.submit(requests)
+        metrics = engine.run()
+        assert metrics.num_completed == len(requests)
+        ids = [r.request_id for r in metrics.records]
+        assert len(set(ids)) == len(ids)
+        for rec in metrics.records:
+            assert rec.finish_time >= rec.first_token_time >= rec.arrival_time
+
+    def test_video_and_retrieval_share_engine(self):
+        builder = SystemBuilder(num_adapters=4, max_batch_size=16)
+        engine = builder.build("v-lora")
+        retrieval = RetrievalWorkload(builder.adapter_ids, rate_rps=3.0,
+                                      duration_s=8.0, seed=1).generate()
+        video = VideoAnalyticsWorkload(builder.adapter_ids, num_streams=1,
+                                       duration_s=8.0, seed=1).generate()
+        engine.submit(retrieval)
+        engine.submit(video)
+        metrics = engine.run()
+        assert metrics.num_completed == len(retrieval) + len(video)
+
+    def test_simulated_time_monotonic_in_records(self):
+        builder = SystemBuilder(num_adapters=2, max_batch_size=8)
+        engine = builder.build("v-lora")
+        wl = RetrievalWorkload(builder.adapter_ids, rate_rps=4.0,
+                               duration_s=6.0, seed=2)
+        engine.submit(wl.generate())
+        metrics = engine.run()
+        assert engine.clock.now >= max(
+            r.finish_time for r in metrics.records
+        ) - 1e-9
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self):
+        def run():
+            builder = SystemBuilder(num_adapters=4, jitter_seed=5)
+            engine = builder.build("v-lora")
+            wl = RetrievalWorkload(builder.adapter_ids, rate_rps=5.0,
+                                   duration_s=8.0, seed=5)
+            engine.submit(wl.generate())
+            return engine.run().summary()
+
+        a, b = run(), run()
+        for key in a:
+            assert a[key] == pytest.approx(b[key]), key
+
+    def test_trace_replay_through_analysis(self, tmp_path):
+        """workload -> trace file -> sweep -> comparison, end to end."""
+        builder = SystemBuilder(num_adapters=4)
+        wl = RetrievalWorkload(builder.adapter_ids, rate_rps=6.0,
+                               duration_s=8.0, seed=77)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, wl.generate())
+
+        runner = SweepRunner(builder, systems=("v-lora", "dlora"))
+        sweep = runner.run("replay", ["trace"],
+                           lambda _v, _s: load_trace(path))
+        comparison = SystemComparison(sweep, reference="v-lora")
+        assert comparison.row("dlora").mean_pct > 0

@@ -1,0 +1,178 @@
+"""Tests for the tiled-GEMM cost model, including Table 1's matrix."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import A100_80GB, H100_80GB
+from repro.kernels import (
+    CONFIG_1,
+    CONFIG_2,
+    PUNICA_CONFIG,
+    GemmCostModel,
+    GemmShape,
+    GroupedGemm,
+)
+
+INPUT_1 = GemmShape(256, 4096, 32)     # Table 1 Input 1
+INPUT_2 = GemmShape(8192, 4096, 128)   # Table 1 Input 2
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return GemmCostModel(A100_80GB)
+
+
+class TestTable1:
+    """The paper's Table 1 qualitative matrix must reproduce."""
+
+    def test_input1_config1_beats_punica(self, cm):
+        assert cm.gemm_seconds(INPUT_1, CONFIG_1) < \
+            cm.gemm_seconds(INPUT_1, PUNICA_CONFIG)
+
+    def test_input1_config2_is_worst(self, cm):
+        """Config 2's big tiles under-utilize SMs on the small input."""
+        lat2 = cm.gemm_seconds(INPUT_1, CONFIG_2)
+        assert lat2 > cm.gemm_seconds(INPUT_1, CONFIG_1)
+        assert lat2 > cm.gemm_seconds(INPUT_1, PUNICA_CONFIG)
+
+    def test_input2_config2_is_best(self, cm):
+        lat2 = cm.gemm_seconds(INPUT_2, CONFIG_2)
+        assert lat2 < cm.gemm_seconds(INPUT_2, CONFIG_1)
+        assert lat2 < cm.gemm_seconds(INPUT_2, PUNICA_CONFIG)
+
+    def test_input2_punica_is_worst(self, cm):
+        """Punica's small tiles flood global memory on the large input."""
+        latp = cm.gemm_seconds(INPUT_2, PUNICA_CONFIG)
+        assert latp > cm.gemm_seconds(INPUT_2, CONFIG_1)
+        assert latp > cm.gemm_seconds(INPUT_2, CONFIG_2)
+
+    def test_adaptive_gap_is_meaningful(self, cm):
+        """Table 1 reports up to 1.9x between configs; require >= 1.5x."""
+        lats = [cm.gemm_seconds(INPUT_2, c)
+                for c in (PUNICA_CONFIG, CONFIG_1, CONFIG_2)]
+        assert max(lats) / min(lats) > 1.5
+
+
+class TestMechanisms:
+    def test_sm_utilization_wave_quantization(self, cm):
+        assert cm.sm_utilization(108) == pytest.approx(1.0)
+        assert cm.sm_utilization(54) == pytest.approx(0.5)
+        # 109 blocks -> 2 waves, second nearly empty.
+        assert cm.sm_utilization(109) == pytest.approx(109 / 216)
+
+    def test_sm_utilization_rejects_zero(self, cm):
+        with pytest.raises(ValueError):
+            cm.sm_utilization(0)
+
+    def test_warp_efficiency_saturates(self, cm):
+        assert cm.warp_efficiency(CONFIG_2) == 1.0  # 4 warps
+        assert cm.warp_efficiency(PUNICA_CONFIG) < \
+            cm.warp_efficiency(CONFIG_1)            # 1 warp < 2 warps
+
+    def test_num_blocks_includes_split_k(self, cm):
+        from repro.kernels import SLORA_CONFIG
+        no_split = cm.num_blocks(INPUT_1, PUNICA_CONFIG)
+        shape = GemmShape(16, 4096, 16)
+        assert cm.num_blocks(shape, SLORA_CONFIG) == SLORA_CONFIG.split_k
+        assert no_split == 16
+
+    def test_latency_scales_with_problem_size(self, cm):
+        small = cm.gemm_seconds(GemmShape(128, 4096, 64), CONFIG_1)
+        large = cm.gemm_seconds(GemmShape(8192, 4096, 64), CONFIG_1)
+        assert large > small
+
+    def test_launch_overhead_linear(self, cm):
+        assert cm.launch_seconds(3) == pytest.approx(3 * cm.launch_seconds(1))
+        with pytest.raises(ValueError):
+            cm.launch_seconds(-1)
+
+    def test_faster_gpu_is_faster(self):
+        a100 = GemmCostModel(A100_80GB)
+        h100 = GemmCostModel(H100_80GB)
+        shape = GemmShape(4096, 4096, 128)
+        assert h100.gemm_seconds(shape, CONFIG_2) < \
+            a100.gemm_seconds(shape, CONFIG_2)
+
+    def test_elementwise_memory_bound(self, cm):
+        one_gb = cm.elementwise_seconds(1 << 30)
+        assert one_gb == pytest.approx(
+            (1 << 30) / (A100_80GB.hbm_bytes_per_s * cm.mem_efficiency)
+        )
+        with pytest.raises(ValueError):
+            cm.elementwise_seconds(-1)
+
+
+class TestGroupedAndBatched:
+    def test_grouped_beats_per_problem_launches(self, cm):
+        problems = [GemmShape(64, 4096, 64) for _ in range(8)]
+        grouped = GroupedGemm.of(problems)
+        one_launch = cm.grouped_seconds(grouped, CONFIG_1)
+        many = sum(cm.gemm_with_launch(p, CONFIG_1) for p in problems)
+        assert one_launch < many
+
+    def test_padded_batch_pays_for_heterogeneity(self, cm):
+        hetero = GroupedGemm.of(
+            [GemmShape(64, 4096, 64), GemmShape(1024, 4096, 64)]
+        )
+        grouped = cm.grouped_seconds(hetero, CONFIG_1)
+        padded = cm.batched_padded_seconds(hetero, CONFIG_1)
+        assert padded > grouped
+
+    def test_uniform_batch_padding_is_cheap(self, cm):
+        uniform = GroupedGemm.of([GemmShape(512, 4096, 64)] * 4)
+        grouped = cm.grouped_seconds(uniform, CONFIG_1)
+        padded = cm.batched_padded_seconds(uniform, CONFIG_1)
+        assert padded == pytest.approx(grouped, rel=0.25)
+
+    def test_extra_launches_cost(self, cm):
+        g = GroupedGemm.of([GemmShape(64, 4096, 64)])
+        base = cm.batched_padded_seconds(g, CONFIG_1, extra_launches=0)
+        extra = cm.batched_padded_seconds(g, CONFIG_1, extra_launches=3)
+        assert extra == pytest.approx(base + cm.launch_seconds(3))
+
+
+class TestBreakdown:
+    def test_components_add_up(self, cm):
+        b = cm.breakdown(INPUT_1, PUNICA_CONFIG)
+        expected = max(b["compute_seconds"], b["memory_seconds"]) \
+            + cm.overlap_residual * min(b["compute_seconds"],
+                                        b["memory_seconds"])
+        assert b["total_seconds"] == pytest.approx(expected)
+
+    def test_padding_waste_for_narrow_n(self, cm):
+        """Punica's 64-wide N tile wastes half the flops on N=32."""
+        b = cm.breakdown(INPUT_1, PUNICA_CONFIG)
+        assert b["padding_waste"] == pytest.approx(0.5)
+        assert b["useful_flops"] == INPUT_1.flops
+
+    def test_bound_classification(self, cm):
+        small = cm.breakdown(GemmShape(16, 4096, 16), CONFIG_1)
+        assert small["bound"] in ("compute", "memory")
+        big = cm.breakdown(GemmShape(8192, 4096, 4096), CONFIG_2)
+        assert big["sm_utilization"] > small["sm_utilization"]
+
+    def test_waves_consistent_with_blocks(self, cm):
+        b = cm.breakdown(INPUT_2, PUNICA_CONFIG)
+        assert b["waves"] == -(-b["blocks"] // A100_80GB.num_sms)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(1, 8192),
+    n=st.sampled_from([16, 32, 64, 128]),
+    cfg=st.sampled_from([PUNICA_CONFIG, CONFIG_1, CONFIG_2]),
+)
+def test_latency_always_positive_and_finite(m, n, cfg):
+    cm = GemmCostModel(A100_80GB)
+    lat = cm.gemm_seconds(GemmShape(m, 4096, n), cfg)
+    assert 0 < lat < 10.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(1, 4096), cfg=st.sampled_from([CONFIG_1, CONFIG_2]))
+def test_latency_monotone_in_m_at_tile_boundaries(m, cfg):
+    """Adding a full tile row of work never makes the kernel faster."""
+    cm = GemmCostModel(A100_80GB)
+    shape = GemmShape(m, 4096, 64)
+    bigger = GemmShape(m + cfg.bm * 128, 4096, 64)
+    assert cm.gemm_seconds(bigger, cfg) >= cm.gemm_seconds(shape, cfg)

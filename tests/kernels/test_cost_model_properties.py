@@ -1,0 +1,93 @@
+"""Property-based tests over the GEMM cost model.
+
+These pin the physical sanity of the analytical model: work monotonicity,
+grouped-launch consistency, padding dominance, and double-buffering
+benefit — the load-bearing assumptions behind every serving number.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import A100_80GB
+from repro.kernels import (
+    GemmCostModel,
+    GemmShape,
+    GroupedGemm,
+    enumerate_configs,
+)
+
+CM = GemmCostModel(A100_80GB)
+CONFIGS = enumerate_configs(A100_80GB, include_split_k=False)[::7]
+
+shapes = st.builds(
+    GemmShape,
+    m=st.integers(1, 4096),
+    k=st.sampled_from([64, 512, 4096]),
+    n=st.sampled_from([16, 64, 512, 4096]),
+)
+configs = st.sampled_from(CONFIGS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, cfg=configs)
+def test_monotone_in_k(shape, cfg):
+    """Doubling K (more multiply-accumulate work) never gets cheaper."""
+    bigger = GemmShape(shape.m, shape.k * 2, shape.n)
+    assert CM.gemm_seconds(bigger, cfg) >= CM.gemm_seconds(shape, cfg) * 0.999
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, cfg=configs)
+def test_grouped_singleton_matches_single(shape, cfg):
+    """A grouped launch of one problem equals the single-GEMM path plus
+    its launch overhead."""
+    grouped = GroupedGemm.of([shape])
+    single = CM.gemm_seconds(shape, cfg) + CM.launch_seconds(1)
+    assert CM.grouped_seconds(grouped, cfg) == pytest.approx(single, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ms_=st.lists(st.integers(1, 1024), min_size=2, max_size=6),
+    cfg=configs,
+)
+def test_grouped_at_least_as_slow_as_biggest_member(ms_, cfg):
+    """A grouped launch cannot beat its most expensive member alone."""
+    problems = [GemmShape(m, 4096, 64) for m in ms_]
+    grouped = GroupedGemm.of(problems)
+    worst = max(
+        CM.gemm_seconds(p, cfg) for p in problems
+    )
+    # Allow a tiny tolerance: utilization improves in the group, but the
+    # group still carries the worst member's full work.
+    assert CM.grouped_seconds(grouped, cfg) >= worst * 0.75
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ms_=st.lists(st.integers(1, 1024), min_size=2, max_size=6),
+    cfg=configs,
+)
+def test_padded_batch_never_cheaper_than_grouped(ms_, cfg):
+    """Padding to the batch max can only add work (§4.3.1)."""
+    problems = [GemmShape(m, 4096, 64) for m in ms_]
+    grouped = GroupedGemm.of(problems)
+    assert CM.batched_padded_seconds(grouped, cfg) >= \
+        CM.grouped_seconds(grouped, cfg) * 0.999
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, cfg=configs)
+def test_double_buffering_never_hurts(shape, cfg):
+    single = dataclasses.replace(cfg, double_buffered=False)
+    assert CM.gemm_seconds(shape, cfg) <= \
+        CM.gemm_seconds(shape, single) * 1.0001
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, cfg=configs)
+def test_latency_cache_consistency(shape, cfg):
+    """The lru_cache wrapper returns exactly the uncached value."""
+    assert CM.gemm_seconds(shape, cfg) == CM._gemm_seconds(shape, cfg)

@@ -1,0 +1,154 @@
+"""Tests for ATMM and the baseline LoRA-batching operators (§6.3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import A100_80GB
+from repro.kernels import (
+    ATMMOperator,
+    EinsumOperator,
+    GemmCostModel,
+    PunicaOperator,
+    SLoRAOperator,
+    make_operator,
+)
+
+D = 4096
+PREFILL = ([1024, 512, 768, 256], [64, 64, 64, 64])
+DECODE = ([1] * 8, [64] * 8)
+
+
+@pytest.fixture(scope="module")
+def ops():
+    cm = GemmCostModel(A100_80GB)
+    return {
+        "atmm": ATMMOperator(cm),
+        "slora": SLoRAOperator(cm),
+        "punica": PunicaOperator(cm),
+        "dlora": EinsumOperator(cm),
+    }
+
+
+class TestFactory:
+    def test_names_resolve(self):
+        for name, cls in [
+            ("atmm", ATMMOperator), ("v-lora", ATMMOperator),
+            ("s-lora", SLoRAOperator), ("punica", PunicaOperator),
+            ("dlora", EinsumOperator), ("einsum", EinsumOperator),
+        ]:
+            assert isinstance(make_operator(name, A100_80GB), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            make_operator("cublas", A100_80GB)
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self, ops):
+        with pytest.raises(ValueError):
+            ops["atmm"].pair_seconds([], [], D)
+
+    def test_misaligned_rejected(self, ops):
+        with pytest.raises(ValueError):
+            ops["atmm"].pair_seconds([1, 2], [64], D)
+
+    def test_nonpositive_tokens_rejected(self, ops):
+        with pytest.raises(ValueError):
+            ops["atmm"].pair_seconds([0], [64], D)
+
+
+class TestRelativePerformance:
+    """Fig. 17's qualitative claims."""
+
+    def test_atmm_fastest_at_prefill(self, ops):
+        t = {k: op.pair_seconds(*PREFILL, D) for k, op in ops.items()}
+        assert t["atmm"] == min(t.values())
+
+    def test_atmm_beats_slora_clearly_at_prefill(self, ops):
+        """Fig. 17: 2.7x average speedup vs S-LoRA (prefill-heavy)."""
+        ratio = ops["slora"].pair_seconds(*PREFILL, D) / \
+            ops["atmm"].pair_seconds(*PREFILL, D)
+        assert ratio > 2.0
+
+    def test_decode_slora_close_to_atmm(self, ops):
+        """Fig. 17 left: ATMM ~ S-LoRA at decode shapes."""
+        a = ops["atmm"].layer_seconds(*DECODE, D)
+        s = ops["slora"].layer_seconds(*DECODE, D)
+        assert s < 3.0 * a
+
+    def test_decode_dlora_much_slower(self, ops):
+        """Fig. 17 left: Einsum 4.5x slower than ATMM at decode."""
+        a = ops["atmm"].pair_seconds(*DECODE, D)
+        d = ops["dlora"].pair_seconds(*DECODE, D)
+        assert d > 3.0 * a
+
+    def test_dlora_pays_for_heterogeneity(self, ops):
+        hetero = ops["dlora"].pair_seconds([64, 1024], [64, 64], D)
+        uniform = ops["dlora"].pair_seconds([1024, 1024], [64, 64], D)
+        # Padding makes the heterogeneous batch cost as much as uniform.
+        assert hetero == pytest.approx(uniform, rel=0.05)
+
+    def test_atmm_charges_actual_tokens(self, ops):
+        hetero = ops["atmm"].pair_seconds([64, 1024], [64, 64], D)
+        uniform = ops["atmm"].pair_seconds([1024, 1024], [64, 64], D)
+        assert hetero < uniform
+
+
+class TestJitter:
+    def test_jitter_ordering_matches_fig18(self, ops):
+        """ATMM most stable; S-LoRA 3x, Punica/dLoRA 2x its fluctuation."""
+        assert ops["atmm"].jitter_frac < ops["punica"].jitter_frac
+        assert ops["atmm"].jitter_frac < ops["dlora"].jitter_frac
+        assert ops["slora"].jitter_frac > ops["punica"].jitter_frac
+        assert ops["slora"].jitter_frac == pytest.approx(
+            3 * ops["atmm"].jitter_frac, rel=0.05
+        )
+
+    def test_sample_deterministic_without_rng(self, ops):
+        assert ops["atmm"].sample_seconds(1.0) == 1.0
+
+    def test_sample_jitters_with_rng(self, ops):
+        rng = np.random.default_rng(0)
+        samples = {ops["slora"].sample_seconds(1.0, rng) for _ in range(16)}
+        assert len(samples) > 1
+        assert all(s >= 0.5 for s in samples)
+
+
+class TestATMMSpecifics:
+    def test_lazy_profile_on_unseen_shape(self):
+        op = ATMMOperator(GemmCostModel(A100_80GB),
+                          hidden_dims=(D,), ranks=(64,))
+        # Rank 32 was not in the offline sweep; lookup must still work.
+        t = op.pair_seconds([128], [32], D)
+        assert t > 0
+        assert op.table.contains(128, D, 32)
+
+    def test_delta_w_under_10ms(self):
+        """§4.4.1/§6.3.2: all-layer ΔW + merge in a few ms."""
+        op = ATMMOperator(GemmCostModel(A100_80GB))
+        t = op.delta_w_seconds(32, D, 64, num_projections=2)
+        assert t < 0.010
+
+    def test_delta_w_validation(self):
+        op = ATMMOperator(GemmCostModel(A100_80GB))
+        with pytest.raises(ValueError):
+            op.delta_w_seconds(0, D, 64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    tokens=st.lists(st.integers(1, 2048), min_size=1, max_size=6),
+    rank=st.sampled_from([16, 32, 64, 128]),
+)
+def test_all_operators_positive_and_ordered(tokens, rank):
+    """Every operator returns positive latency; adding a projection
+    multiplies the per-layer cost."""
+    cm = GemmCostModel(A100_80GB)
+    for op in (ATMMOperator(cm), SLoRAOperator(cm),
+               PunicaOperator(cm), EinsumOperator(cm)):
+        ranks = [rank] * len(tokens)
+        one = op.layer_seconds(tokens, ranks, D, num_projections=1)
+        two = op.layer_seconds(tokens, ranks, D, num_projections=2)
+        assert one > 0
+        assert two == pytest.approx(2 * one, rel=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for GEMM shape containers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels import GemmShape, GroupedGemm, lora_gemm_shapes
+
+dims = st.integers(min_value=1, max_value=4096)
+
+
+class TestGemmShape:
+    def test_flops_counts_multiply_adds(self):
+        assert GemmShape(2, 3, 4).flops == 2 * 2 * 3 * 4
+
+    def test_byte_accounting(self):
+        s = GemmShape(4, 8, 2)
+        assert s.input_bytes_fp16 == 2 * (4 * 8 + 8 * 2)
+        assert s.output_bytes_fp16 == 2 * 4 * 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemmShape(0, 1, 1)
+        with pytest.raises(ValueError):
+            GemmShape(1, -2, 1)
+
+    def test_padding_up(self):
+        assert GemmShape(3, 5, 7).padded_to(8, 8) == GemmShape(8, 5, 8)
+
+    def test_padding_down_rejected(self):
+        with pytest.raises(ValueError):
+            GemmShape(8, 5, 8).padded_to(4, 8)
+
+    @given(m=dims, k=dims, n=dims)
+    def test_flops_positive_and_consistent(self, m, k, n):
+        s = GemmShape(m, k, n)
+        assert s.flops == 2 * m * k * n
+        assert s.input_bytes_fp16 > 0
+
+
+class TestGroupedGemm:
+    def test_requires_problems(self):
+        with pytest.raises(ValueError):
+            GroupedGemm(())
+
+    def test_aggregates(self):
+        g = GroupedGemm.of([GemmShape(2, 4, 8), GemmShape(16, 4, 2)])
+        assert g.num_groups == 2
+        assert g.max_m == 16
+        assert g.max_n == 8
+        assert g.total_flops == GemmShape(2, 4, 8).flops + GemmShape(16, 4, 2).flops
+
+    def test_padded_batch_is_uniform_and_never_smaller(self):
+        g = GroupedGemm.of([GemmShape(2, 4, 8), GemmShape(16, 4, 2)])
+        padded = g.padded_batch()
+        assert all(p.m == 16 and p.n == 8 for p in padded.problems)
+        assert padded.total_flops >= g.total_flops
+
+    @given(st.lists(st.tuples(dims, dims), min_size=1, max_size=8))
+    def test_padded_batch_flops_dominate(self, mns):
+        g = GroupedGemm.of([GemmShape(m, 64, n) for m, n in mns])
+        assert g.padded_batch().total_flops >= g.total_flops
+
+
+class TestLoraGemmShapes:
+    def test_shrink_expand_shapes(self):
+        shrink, expand = lora_gemm_shapes([10, 20], 4096, [8, 16])
+        assert shrink.problems == (GemmShape(10, 4096, 8), GemmShape(20, 4096, 16))
+        assert expand.problems == (GemmShape(10, 8, 4096), GemmShape(20, 16, 4096))
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            lora_gemm_shapes([10], 4096, [8, 16])
+        with pytest.raises(ValueError):
+            lora_gemm_shapes([], 4096, [])
+
+    @given(
+        st.lists(st.integers(1, 2048), min_size=1, max_size=6),
+        st.integers(1, 8),
+    )
+    def test_shrink_expand_flops_equal(self, tokens, rank_pow):
+        """x@A and (xA)@B move the same number of multiply-adds."""
+        rank = 2 ** rank_pow
+        shrink, expand = lora_gemm_shapes(tokens, 1024, [rank] * len(tokens))
+        assert shrink.total_flops == expand.total_flops

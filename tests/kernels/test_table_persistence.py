@@ -1,0 +1,68 @@
+"""Tests for tiling-table persistence (the compiled-kernel store, §5)."""
+
+import math
+
+import pytest
+
+from repro.hardware import A100_80GB
+from repro.kernels import (
+    CONFIG_1,
+    GemmShape,
+    OptimalTilingTable,
+    TilingConfig,
+    TilingSearch,
+    shape_key,
+)
+
+
+class TestConfigSerialization:
+    def test_roundtrip(self):
+        cfg = TilingConfig(bm=64, bk=32, bn=32, wm=32, wk=32, wn=32,
+                           split_k=4, tensor_cores=False)
+        assert TilingConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_validates(self):
+        bad = CONFIG_1.to_dict()
+        bad["bm"] = 48
+        with pytest.raises(ValueError):
+            TilingConfig.from_dict(bad)
+
+
+class TestTablePersistence:
+    @pytest.fixture(scope="class")
+    def table(self):
+        search = TilingSearch(A100_80GB, coarse=True)
+        table, _ = search.search([(4096, 64), (64, 4096)], max_m=512)
+        return table
+
+    def test_roundtrip_preserves_lookups(self, table, tmp_path):
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = OptimalTilingTable.load(path)
+        assert len(loaded) == len(table)
+        assert loaded.fallback == table.fallback
+        for m in (16, 100, 512):
+            for k, n in ((4096, 64), (64, 4096)):
+                assert loaded.lookup(m, k, n) == table.lookup(m, k, n)
+                assert loaded.profiled_latency(m, k, n) == pytest.approx(
+                    table.profiled_latency(m, k, n)
+                )
+
+    def test_load_without_fallback(self, tmp_path):
+        table = OptimalTilingTable()
+        table.insert(shape_key(16, 4096, 64), CONFIG_1, 1e-6)
+        path = tmp_path / "nofb.json"
+        table.save(path)
+        loaded = OptimalTilingTable.load(path)
+        assert loaded.fallback is None
+        with pytest.raises(KeyError):
+            loaded.lookup(16, 1, 1)
+
+    def test_loaded_table_drives_atmm(self, table, tmp_path):
+        from repro.kernels import ATMMOperator, GemmCostModel
+        path = tmp_path / "atmm.json"
+        table.save(path)
+        op = ATMMOperator(GemmCostModel(A100_80GB),
+                          table=OptimalTilingTable.load(path))
+        t = op.pair_seconds([128], [64], 4096)
+        assert t > 0

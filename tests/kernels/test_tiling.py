@@ -1,0 +1,85 @@
+"""Tests for tiling configurations and their validity rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import A10, A100_80GB
+from repro.kernels import (
+    CONFIG_1,
+    CONFIG_2,
+    PUNICA_CONFIG,
+    SLORA_CONFIG,
+    TilingConfig,
+    enumerate_configs,
+)
+
+
+class TestTilingConfigValidation:
+    def test_table1_configs_are_valid_on_a100(self):
+        for cfg in (PUNICA_CONFIG, SLORA_CONFIG, CONFIG_1, CONFIG_2):
+            assert cfg.is_valid_for(A100_80GB), cfg
+
+    def test_rejects_below_min_tile(self):
+        with pytest.raises(ValueError, match="below hardware minimum"):
+            TilingConfig(bm=8, bk=16, bn=16, wm=16, wk=16, wn=16)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            TilingConfig(bm=48, bk=16, bn=16, wm=16, wk=16, wn=16)
+
+    def test_rejects_warp_exceeding_block(self):
+        with pytest.raises(ValueError):
+            TilingConfig(bm=16, bk=16, bn=16, wm=32, wk=16, wn=16)
+
+    def test_rejects_non_dividing_warp(self):
+        # 64 % 48 != 0 is impossible with powers of two; instead check
+        # the divisibility path via wk > bk.
+        with pytest.raises(ValueError):
+            TilingConfig(bm=64, bk=16, bn=64, wm=64, wk=32, wn=64)
+
+    def test_rejects_bad_split_k(self):
+        with pytest.raises(ValueError):
+            TilingConfig(bm=16, bk=16, bn=16, wm=16, wk=16, wn=16, split_k=0)
+
+    def test_warps_per_block(self):
+        assert PUNICA_CONFIG.warps_per_block == 1
+        assert CONFIG_1.warps_per_block == 2
+        assert CONFIG_2.warps_per_block == 4
+
+    def test_table1_tuple_roundtrip(self):
+        assert PUNICA_CONFIG.as_tuple() == (16, 64, 64, 16, 16, 64)
+
+    def test_smem_tile_bytes(self):
+        cfg = TilingConfig(bm=16, bk=16, bn=16, wm=16, wk=16, wn=16)
+        assert cfg.smem_tile_bytes == 2 * (16 * 16 + 16 * 16)
+
+
+class TestEnumerateConfigs:
+    def test_nonempty_and_all_valid(self):
+        configs = enumerate_configs(A100_80GB)
+        assert len(configs) > 100
+        assert all(c.is_valid_for(A100_80GB) for c in configs)
+
+    def test_smaller_gpu_has_fewer_configs(self):
+        a100 = enumerate_configs(A100_80GB)
+        a10 = enumerate_configs(A10)
+        assert len(a10) <= len(a100)
+
+    def test_split_k_toggle(self):
+        with_k = enumerate_configs(A100_80GB, include_split_k=True)
+        without = enumerate_configs(A100_80GB, include_split_k=False)
+        assert len(without) < len(with_k)
+        assert all(c.split_k == 1 for c in without)
+
+    def test_core_type_filter(self):
+        tensor_only = enumerate_configs(A100_80GB, tensor_cores=True)
+        assert all(c.tensor_cores for c in tensor_only)
+        cuda_only = enumerate_configs(A100_80GB, tensor_cores=False)
+        assert all(not c.tensor_cores for c in cuda_only)
+
+    @given(st.sampled_from(enumerate_configs(A100_80GB, include_split_k=False)))
+    def test_enumerated_configs_satisfy_invariants(self, cfg):
+        assert cfg.bm % cfg.wm == 0
+        assert cfg.bn % cfg.wn == 0
+        assert cfg.bk % cfg.wk == 0
+        assert cfg.warps_per_block <= 32

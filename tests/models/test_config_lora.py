@@ -1,0 +1,103 @@
+"""Tests for model configurations (Table 2) and LoRA adapter specs."""
+
+import pytest
+
+from repro.models import (
+    LLAVA15_13B,
+    LLAVA15_7B,
+    QWEN_VL_7B,
+    LoRAAdapterSpec,
+    get_model,
+    get_small_model,
+    list_models,
+)
+from repro.models.config import ModelConfig, VisionEncoderConfig
+
+
+class TestTable2:
+    """Table 2's rows must hold."""
+
+    @pytest.mark.parametrize("model,layers,dim,size_gb", [
+        (QWEN_VL_7B, 32, 4096, 18),
+        (LLAVA15_7B, 32, 4096, 13),
+        (LLAVA15_13B, 40, 5120, 24),
+    ])
+    def test_configuration_matches_paper(self, model, layers, dim, size_gb):
+        assert model.num_layers == layers
+        assert model.hidden_dim == dim
+        assert abs(model.weight_bytes / (1 << 30) - size_gb) < 1.5
+
+    def test_vision_encoder_sizes(self):
+        assert QWEN_VL_7B.vision_encoder.num_params == pytest.approx(1.9e9)
+        assert LLAVA15_7B.vision_encoder.num_params == pytest.approx(0.3e9)
+
+    def test_kv_bytes_per_token(self):
+        """FP16 MHA: 2 (K,V) x layers x dim x 2 bytes = 512 KB for 7B."""
+        assert QWEN_VL_7B.kv_bytes_per_token == 2 * 32 * 4096 * 2
+
+    def test_registry(self):
+        assert get_model("Qwen-VL-7B") is QWEN_VL_7B
+        assert set(list_models()) == {
+            "Qwen-VL-7B", "LLaVA-1.5-7B", "LLaVA-1.5-13B",
+            "InternVL2-76B",
+        }
+        with pytest.raises(KeyError):
+            get_model("GPT-4o")
+
+    def test_validation(self):
+        enc = VisionEncoderConfig("v", 1000)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 0, 64, 4, 128, 100, enc)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 65, 4, 128, 100, enc)
+        with pytest.raises(ValueError):
+            VisionEncoderConfig("v", 0)
+
+    def test_attention_flops_scale_with_context(self):
+        a = QWEN_VL_7B.attention_flops(1, 100)
+        b = QWEN_VL_7B.attention_flops(1, 200)
+        assert b == pytest.approx(2 * a)
+
+
+class TestLoRAAdapterSpec:
+    def test_paper_size_arithmetic(self):
+        """§4.4.1: A/B tens of MB; materialized ΔW several GB."""
+        spec = LoRAAdapterSpec("a", QWEN_VL_7B, rank=64)
+        assert 30e6 < spec.ab_bytes < 90e6          # paper: ~43 MB
+        assert 1.5e9 < spec.delta_w_bytes < 4e9     # paper: ~3 GB
+
+    def test_delta_w_independent_of_rank(self):
+        r16 = LoRAAdapterSpec("a", QWEN_VL_7B, rank=16)
+        r128 = LoRAAdapterSpec("b", QWEN_VL_7B, rank=128)
+        assert r16.delta_w_bytes == r128.delta_w_bytes
+        assert r16.ab_bytes < r128.ab_bytes
+
+    def test_task_head_adds_parameters(self):
+        plain = LoRAAdapterSpec("a", QWEN_VL_7B)
+        headed = plain.with_head(101)
+        assert headed.has_task_head
+        assert headed.ab_params == plain.ab_params + 4096 * 101
+        assert not plain.has_task_head
+
+    def test_delta_w_gemm_shape(self):
+        spec = LoRAAdapterSpec("a", QWEN_VL_7B, rank=64)
+        assert spec.delta_w_gemm_shape() == (4096, 64, 4096)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoRAAdapterSpec("a", QWEN_VL_7B, rank=0)
+        with pytest.raises(ValueError):
+            LoRAAdapterSpec("a", QWEN_VL_7B, rank=8192)
+        with pytest.raises(ValueError):
+            LoRAAdapterSpec("a", QWEN_VL_7B, task_head_classes=-1)
+
+
+class TestSmallModelZoo:
+    def test_five_models(self):
+        for name in ("YOLO", "OSCAR", "VideoMAE", "UNINEXT", "VisionMamba"):
+            spec = get_small_model(name)
+            assert spec.size_bytes > 0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_small_model("ResNet")

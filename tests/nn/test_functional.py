@@ -1,0 +1,129 @@
+"""Tests for nn.functional helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.functional import (
+    accuracy,
+    dropout,
+    global_grad_norm,
+    label_smoothing_cross_entropy,
+    num_parameters,
+    one_hot,
+    top_k_accuracy,
+    train_test_split,
+)
+
+
+class TestLabels:
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0], [2.0, 0.0]]))
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_top_k(self):
+        logits = Tensor(np.array([[3.0, 2.0, 1.0], [1.0, 2.0, 3.0]]))
+        assert top_k_accuracy(logits, np.array([1, 0]), k=2) == \
+            pytest.approx(0.5)
+        assert top_k_accuracy(logits, np.array([1, 0]), k=3) == 1.0
+        with pytest.raises(ValueError):
+            top_k_accuracy(logits, np.array([0, 0]), k=0)
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        x = Tensor(np.ones((4, 4)))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_inverted_scaling_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 50)))
+        out = dropout(x, 0.3, rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+        # Dropped entries are exactly zero; kept are scaled by 1/(1-p).
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.7, rtol=1e-5)
+
+    def test_gradient_flows_through_mask(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones((8, 8)), requires_grad=True)
+        dropout(x, 0.5, rng).sum().backward()
+        assert x.grad is not None
+        assert set(np.round(np.unique(x.grad), 5)) <= {0.0, 2.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0))
+
+
+class TestSmoothedCE:
+    def test_zero_smoothing_matches_hard(self):
+        rng = np.random.default_rng(0)
+        logits_val = rng.normal(size=(5, 4)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3, 0])
+        from repro.nn.layers import cross_entropy
+        hard = cross_entropy(Tensor(logits_val), labels).item()
+        smooth0 = label_smoothing_cross_entropy(
+            Tensor(logits_val), labels, smoothing=0.0
+        ).item()
+        assert smooth0 == pytest.approx(hard, rel=1e-6)
+
+    def test_smoothing_penalizes_overconfidence(self):
+        confident = Tensor(np.array([[20.0, 0.0, 0.0]]))
+        labels = np.array([0])
+        hard = label_smoothing_cross_entropy(confident, labels, 0.0).item()
+        smooth = label_smoothing_cross_entropy(confident, labels, 0.2).item()
+        assert smooth > hard
+
+    def test_backward_runs(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 4)),
+                        requires_grad=True)
+        label_smoothing_cross_entropy(
+            logits, np.array([0, 1, 2]), 0.1
+        ).backward()
+        assert logits.grad is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            label_smoothing_cross_entropy(
+                Tensor(np.zeros((1, 2))), np.array([0]), smoothing=1.0
+            )
+
+
+class TestBookkeeping:
+    def test_num_parameters(self):
+        params = [Tensor(np.zeros((2, 3))), Tensor(np.zeros(5))]
+        assert num_parameters(params) == 11
+
+    def test_global_grad_norm(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        b = Tensor(np.zeros(4), requires_grad=True)
+        a.grad = np.full(3, 2.0, dtype=np.float32)
+        assert global_grad_norm([a, b]) == pytest.approx(np.sqrt(12.0))
+
+    def test_train_test_split(self):
+        x = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        xtr, ytr, xte, yte = train_test_split(x, y, 0.3,
+                                              np.random.default_rng(0))
+        assert xtr.shape[0] == 7 and xte.shape[0] == 3
+        # Pairs stay aligned.
+        for xi, yi in zip(xtr, ytr):
+            assert xi[0] == 2 * yi
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(3), 0.5)
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.5)

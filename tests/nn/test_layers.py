@@ -1,0 +1,179 @@
+"""Tests for NN modules: Linear, Embedding, LayerNorm, attention, blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    MultiHeadSelfAttention,
+    Sequential,
+    Tensor,
+    TransformerBlock,
+)
+from repro.nn.layers import cross_entropy
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(8, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_bias_optional(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_freeze_stops_gradients(self, rng):
+        layer = Linear(4, 2, rng=rng).freeze()
+        out = layer(Tensor(rng.normal(size=(3, 4)), requires_grad=True))
+        out.sum().backward()
+        assert layer.weight.grad is None
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+
+class TestEmbedding:
+    def test_lookup_and_grad(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        # Token 1 used twice: its gradient row is 2, token 3 once: 1.
+        np.testing.assert_allclose(emb.weight.grad[1], np.full(4, 2.0))
+        np.testing.assert_allclose(emb.weight.grad[3], np.full(4, 1.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(4))
+
+    def test_out_of_range_token(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        ln = LayerNorm(6)
+        x = Tensor(rng.normal(2.0, 3.0, size=(4, 6)))
+        y = ln(x)
+        np.testing.assert_allclose(y.data.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(y.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradcheck(self, rng):
+        ln = LayerNorm(5)
+        x_val = rng.normal(size=(3, 5)).astype(np.float32)
+        x = Tensor(x_val.copy(), requires_grad=True)
+        (ln(x) ** 2.0).sum().backward()
+
+        def f(xv):
+            return float((ln(Tensor(xv)) ** 2.0).sum().data)
+
+        eps = 1e-3
+        num = np.zeros_like(x_val)
+        for i in range(3):
+            for j in range(5):
+                p = x_val.copy(); p[i, j] += eps
+                m = x_val.copy(); m[i, j] -= eps
+                num[i, j] = (f(p) - f(m)) / (2 * eps)
+        np.testing.assert_allclose(x.grad, num, atol=2e-2, rtol=5e-2)
+
+    def test_affine_params_learn(self, rng):
+        ln = LayerNorm(4)
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert ln.beta.grad is not None
+        np.testing.assert_allclose(ln.beta.grad, np.full(4, 2.0))
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_causal_mask_blocks_future(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, causal=True, rng=rng)
+        x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        base = attn(Tensor(x)).data
+        # Perturbing a later position must not change earlier outputs.
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out2 = attn(Tensor(x2)).data
+        np.testing.assert_allclose(base[0, :5], out2[0, :5], atol=1e-4)
+
+    def test_non_causal_mixes_all_positions(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, causal=False, rng=rng)
+        x = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        base = attn(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 3] += 10.0
+        assert not np.allclose(base[0, 0], attn(Tensor(x2)).data[0, 0])
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.o_proj):
+            assert proj.weight.grad is not None
+            assert np.abs(proj.weight.grad).max() > 0
+
+
+class TestBlocksAndLoss:
+    def test_transformer_block_residual(self, rng):
+        block = TransformerBlock(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        assert block(x).shape == (2, 4, 8)
+
+    def test_feedforward_shapes(self, rng):
+        ff = FeedForward(8, 16, rng=rng)
+        assert ff(Tensor(rng.normal(size=(3, 8)))).shape == (3, 8)
+
+    def test_sequential_composes(self, rng):
+        seq = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        assert seq(Tensor(rng.normal(size=(5, 4)))).shape == (5, 2)
+        assert len(seq.parameters()) == 4
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits_val = rng.normal(size=(4, 3)).astype(np.float32)
+        targets = np.array([0, 2, 1, 2])
+        logits = Tensor(logits_val.copy(), requires_grad=True)
+        loss = cross_entropy(logits, targets)
+        # Manual reference.
+        z = logits_val - logits_val.max(axis=1, keepdims=True)
+        p = np.exp(z) / np.exp(z).sum(axis=1, keepdims=True)
+        ref = -np.log(p[np.arange(4), targets]).mean()
+        assert loss.item() == pytest.approx(ref, rel=1e-5)
+        loss.backward()
+        grad_ref = p.copy()
+        grad_ref[np.arange(4), targets] -= 1
+        np.testing.assert_allclose(logits.grad, grad_ref / 4, atol=1e-5)
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_train_eval_recursion(self, rng):
+        block = TransformerBlock(8, 2, rng=rng)
+        block.eval()
+        assert not block.attn.training
+        block.train()
+        assert block.attn.q_proj.training
+
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        assert layer.num_parameters() == 4 * 2 + 2

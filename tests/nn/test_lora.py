@@ -1,0 +1,153 @@
+"""Tests for LoRALinear: merge/unmerge exactness, swap, deLoRA identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import LoRALinear, Linear, Tensor
+from repro.runtime.modes import delora_output
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+def make_lora(rng, in_f=8, out_f=8, rank=2):
+    layer = LoRALinear(Linear(in_f, out_f, rng=rng), rank=rank, rng=rng)
+    # Give B non-zero weights so ΔW is non-trivial.
+    layer.lora_b.data = rng.normal(size=layer.lora_b.shape).astype(np.float32)
+    return layer
+
+
+class TestForward:
+    def test_fresh_adapter_is_identity_delta(self, rng):
+        base = Linear(6, 4, rng=rng)
+        ref = base(Tensor(np.eye(6, dtype=np.float32))).data.copy()
+        lora = LoRALinear(base, rank=2, rng=rng)  # B = 0 at init
+        out = lora(Tensor(np.eye(6, dtype=np.float32))).data
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_bypass_adds_low_rank_term(self, rng):
+        layer = make_lora(rng)
+        x = rng.normal(size=(3, 8)).astype(np.float32)
+        out = layer(Tensor(x)).data
+        expected = layer.base(Tensor(x)).data + x @ layer.delta_w()
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+    def test_base_frozen_adapter_trains(self, rng):
+        layer = make_lora(rng)
+        layer(Tensor(rng.normal(size=(2, 8)), requires_grad=True)).sum().backward()
+        assert layer.base.weight.grad is None
+        assert layer.lora_a.grad is not None
+        assert layer.lora_b.grad is not None
+
+    def test_rank_validation(self, rng):
+        with pytest.raises(ValueError):
+            LoRALinear(Linear(4, 4, rng=rng), rank=0)
+        with pytest.raises(ValueError):
+            LoRALinear(Linear(4, 4, rng=rng), rank=8)
+
+
+class TestMergeUnmerge:
+    def test_merge_preserves_outputs(self, rng):
+        layer = make_lora(rng)
+        x = rng.normal(size=(5, 8)).astype(np.float32)
+        before = layer(Tensor(x)).data.copy()
+        layer.merge()
+        after = layer(Tensor(x)).data
+        np.testing.assert_allclose(before, after, atol=1e-4)
+
+    def test_unmerge_restores_base(self, rng):
+        layer = make_lora(rng)
+        w0 = layer.base.weight.data.copy()
+        layer.merge()
+        layer.unmerge()
+        np.testing.assert_allclose(layer.base.weight.data, w0, atol=1e-5)
+
+    def test_double_merge_rejected(self, rng):
+        layer = make_lora(rng)
+        layer.merge()
+        with pytest.raises(RuntimeError):
+            layer.merge()
+
+    def test_unmerge_without_merge_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            make_lora(rng).unmerge()
+
+    def test_merged_flag(self, rng):
+        layer = make_lora(rng)
+        assert not layer.merged
+        layer.merge()
+        assert layer.merged
+
+
+class TestSwap:
+    def test_snapshot_load_roundtrip(self, rng):
+        layer = make_lora(rng)
+        x = rng.normal(size=(2, 8)).astype(np.float32)
+        snap = layer.snapshot()
+        out0 = layer(Tensor(x)).data.copy()
+        layer.reset(rng)
+        assert not np.allclose(layer(Tensor(x)).data, out0)
+        layer.load(snap)
+        np.testing.assert_allclose(layer(Tensor(x)).data, out0, atol=1e-6)
+
+    def test_snapshot_is_detached(self, rng):
+        layer = make_lora(rng)
+        snap = layer.snapshot()
+        layer.lora_a.data += 1.0
+        assert not np.allclose(snap.a, layer.lora_a.data)
+
+    def test_load_while_merged_rejected(self, rng):
+        layer = make_lora(rng)
+        snap = layer.snapshot()
+        layer.merge()
+        with pytest.raises(RuntimeError):
+            layer.load(snap)
+
+    def test_load_shape_mismatch_rejected(self, rng):
+        layer = make_lora(rng)
+        other = make_lora(rng, in_f=8, out_f=8, rank=4)
+        with pytest.raises(ValueError):
+            layer.load(other.snapshot())
+
+    def test_snapshot_delta_w_matches_layer(self, rng):
+        layer = make_lora(rng)
+        np.testing.assert_allclose(
+            layer.snapshot().delta_w(), layer.delta_w(), atol=1e-6
+        )
+
+    def test_reset_zeroes_delta(self, rng):
+        layer = make_lora(rng)
+        layer.reset(rng)
+        np.testing.assert_allclose(layer.delta_w(), 0.0, atol=1e-7)
+
+
+class TestDeLoRAIdentity:
+    """§4.4.2: out_x = in_x (W_merge - W_deLoRA1 + W_LoRAx) = in_x (W_base + W_LoRAx)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_identity_with_random_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        d = 6
+        w_base = rng.normal(size=(d, d)).astype(np.float32)
+        dw1 = (rng.normal(size=(d, 2)) @ rng.normal(size=(2, d))).astype(np.float32)
+        dwx = (rng.normal(size=(d, 2)) @ rng.normal(size=(2, d))).astype(np.float32)
+        x = rng.normal(size=(4, d)).astype(np.float32)
+        via_mixture = delora_output(x, w_base, dw1, dwx)
+        direct = x @ (w_base + dwx)
+        np.testing.assert_allclose(via_mixture, direct, atol=1e-3)
+
+    def test_identity_with_real_lora_layers(self, rng):
+        """End-to-end: adapter 1 merged, adapter x answered via deLoRA."""
+        base = Linear(8, 8, rng=rng)
+        w_base = base.weight.data.copy()
+        lora1 = make_lora(rng)
+        lorax = make_lora(rng)
+        x = rng.normal(size=(3, 8)).astype(np.float32)
+        out = delora_output(x, w_base, lora1.delta_w(), lorax.delta_w())
+        np.testing.assert_allclose(
+            out, x @ (w_base + lorax.delta_w()), atol=1e-3
+        )

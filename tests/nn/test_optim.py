@@ -1,0 +1,91 @@
+"""Tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Tensor, clip_grad_norm
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start], dtype=np.float32), requires_grad=True)
+
+
+def step_quadratic(opt, p, iters):
+    for _ in range(iters):
+        loss = (p * p).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float(p.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(step_quadratic(SGD([p], lr=0.1), p, 50)) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        slow = abs(step_quadratic(SGD([p1], lr=0.01), p1, 30))
+        fast = abs(step_quadratic(SGD([p2], lr=0.01, momentum=0.9), p2, 30))
+        assert fast < slow
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        # Zero loss gradient: decay alone shrinks the weight.
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()  # no grad yet: must not crash
+        assert p.data[0] == 5.0
+
+    def test_validation(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        frozen = Tensor(np.ones(1), requires_grad=False)
+        with pytest.raises(ValueError):
+            SGD([frozen], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(step_quadratic(Adam([p], lr=0.1), p, 300)) < 0.05
+
+    def test_bias_correction_first_step(self):
+        p = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        # With bias correction the first step is ~lr regardless of betas.
+        assert p.data[0] == pytest.approx(0.9, abs=1e-3)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=-1.0)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 3.0, dtype=np.float32)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(6.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

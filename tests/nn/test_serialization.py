@@ -1,0 +1,121 @@
+"""Tests for model/adapter checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import TinyLMM, TinyLMMConfig
+from repro.nn.layers import Linear
+from repro.nn.serialization import (
+    load_adapter,
+    load_model,
+    named_parameters,
+    save_adapter,
+    save_model,
+)
+
+
+@pytest.fixture()
+def model():
+    return TinyLMM(TinyLMMConfig(feature_dim=8, dim=16, num_layers=1,
+                                 num_heads=2, vocab_size=12, max_patches=4),
+                   rng=np.random.default_rng(0))
+
+
+def batch(model, rng):
+    cfg = model.config
+    x = rng.normal(size=(4, cfg.max_patches, cfg.feature_dim)).astype("float32")
+    p = rng.integers(0, cfg.num_prompts, 4)
+    return x, p
+
+
+class TestNamedParameters:
+    def test_paths_are_stable_and_unique(self, model):
+        names = list(named_parameters(model))
+        assert len(names) == len(set(names))
+        assert "patch_proj.weight" in names
+        assert "blocks.0.attn.q_proj.weight" in names
+        assert names == list(named_parameters(model))
+
+    def test_covers_module_parameters(self, model):
+        by_name = named_parameters(model)
+        assert len(by_name) == len(model.parameters())
+
+    def test_task_heads_included(self, model):
+        model.add_task_head("h", 5, rng=np.random.default_rng(1))
+        assert "task_heads.h.proj.weight" in named_parameters(model)
+
+
+class TestModelCheckpoint:
+    def test_roundtrip_restores_outputs(self, model, tmp_path):
+        rng = np.random.default_rng(2)
+        x, p = batch(model, rng)
+        before = model.lm_logits(x, p).data.copy()
+        path = tmp_path / "model.npz"
+        count = save_model(model, path)
+        assert count == len(model.parameters())
+        # Scramble, then restore.
+        for t in model.parameters():
+            t.data = t.data + 1.0
+        assert not np.allclose(model.lm_logits(x, p).data, before)
+        loaded = load_model(model, path)
+        assert loaded == count
+        np.testing.assert_allclose(model.lm_logits(x, p).data, before,
+                                   atol=1e-5)
+
+    def test_strict_rejects_mismatched_architecture(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        other = Linear(4, 4)
+        with pytest.raises(ValueError, match="mismatch"):
+            load_model(other, path)
+
+    def test_non_strict_loads_intersection(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        other = TinyLMM(model.config, rng=np.random.default_rng(9))
+        other.add_task_head("extra", 3)
+        loaded = load_model(other, path, strict=False)
+        assert loaded == len(model.parameters())
+
+    def test_shape_mismatch_always_rejected(self, tmp_path):
+        small = Linear(4, 4)
+        path = tmp_path / "lin.npz"
+        save_model(small, path)
+        big = Linear(8, 4)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_model(big, path, strict=False)
+
+    def test_empty_module_rejected(self, tmp_path):
+        class Empty(Linear):
+            def __init__(self):
+                pass
+        from repro.nn.layers import Module
+        with pytest.raises(ValueError):
+            save_model(Module(), tmp_path / "x.npz")
+
+
+class TestAdapterArtifacts:
+    def test_roundtrip(self, model, tmp_path):
+        model.add_lora(2, rng=np.random.default_rng(3))
+        for layer in model.lora_layers:
+            layer.lora_b.data = np.random.default_rng(4).normal(
+                size=layer.lora_b.shape
+            ).astype(np.float32)
+        snaps = model.lora_snapshot()
+        path = tmp_path / "adapter.npz"
+        save_adapter(snaps, path)
+        loaded = load_adapter(path)
+        assert len(loaded) == len(snaps)
+        for a, b in zip(snaps, loaded):
+            np.testing.assert_allclose(a.a, b.a)
+            np.testing.assert_allclose(a.b, b.b)
+            assert a.alpha == b.alpha
+        # The loaded artifact hot-swaps into the model.
+        model.lora_load(loaded)
+
+    def test_artifact_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_adapter([], tmp_path / "x.npz")
+        np.savez(tmp_path / "bogus.npz", foo=np.zeros(2))
+        with pytest.raises(ValueError, match="not an adapter"):
+            load_adapter(tmp_path / "bogus.npz")

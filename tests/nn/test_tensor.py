@@ -1,0 +1,167 @@
+"""Autograd engine tests, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, no_grad
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar f wrt x (float64 probing)."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f(x)
+        x[idx] = orig - eps
+        fm = f(x)
+        x[idx] = orig
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(op, shape_a, shape_b=None, seed=0, atol=2e-2):
+    rng = np.random.default_rng(seed)
+    a_val = rng.normal(size=shape_a).astype(np.float32)
+    if shape_b is None:
+        def f(av):
+            return float(op(Tensor(av)).sum().data)
+        a = Tensor(a_val.copy(), requires_grad=True)
+        out = op(a).sum()
+        out.backward()
+        num = numerical_grad(lambda av: f(av), a_val.copy())
+        np.testing.assert_allclose(a.grad, num, atol=atol, rtol=5e-2)
+    else:
+        b_val = rng.normal(size=shape_b).astype(np.float32)
+        a = Tensor(a_val.copy(), requires_grad=True)
+        b = Tensor(b_val.copy(), requires_grad=True)
+        out = op(a, b).sum()
+        out.backward()
+        num_a = numerical_grad(
+            lambda av: float(op(Tensor(av), Tensor(b_val)).sum().data),
+            a_val.copy(),
+        )
+        num_b = numerical_grad(
+            lambda bv: float(op(Tensor(a_val), Tensor(bv)).sum().data),
+            b_val.copy(),
+        )
+        np.testing.assert_allclose(a.grad, num_a, atol=atol, rtol=5e-2)
+        np.testing.assert_allclose(b.grad, num_b, atol=atol, rtol=5e-2)
+
+
+class TestGradChecks:
+    def test_add(self):
+        check_grad(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_mul(self):
+        check_grad(lambda a, b: a * b, (2, 5), (2, 5))
+
+    def test_matmul(self):
+        check_grad(lambda a, b: a @ b, (3, 4), (4, 2))
+
+    def test_batched_matmul(self):
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (2, 4, 5))
+
+    def test_batched_matmul_broadcast_rhs(self):
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (4, 5))
+
+    def test_pow(self):
+        check_grad(lambda a: (a * a + 1.5) ** 2.0, (3, 3))
+
+    def test_div(self):
+        check_grad(lambda a, b: a / (b * b + 1.0), (2, 3), (2, 3))
+
+    def test_tanh(self):
+        check_grad(lambda a: a.tanh(), (4, 4))
+
+    def test_relu(self):
+        # Keep values away from the kink for numerical stability.
+        rng = np.random.default_rng(3)
+        a_val = (rng.normal(size=(4, 4)) + 3.0).astype(np.float32)
+        a = Tensor(a_val.copy(), requires_grad=True)
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(a_val))
+
+    def test_gelu(self):
+        check_grad(lambda a: a.gelu(), (3, 4))
+
+    def test_exp_log(self):
+        check_grad(lambda a: ((a * a) + 0.5).log().exp(), (3, 3))
+
+    def test_softmax(self):
+        check_grad(lambda a: (a.softmax(axis=-1) * a).sum(), (3, 5))
+
+    def test_sum_axis_keepdims(self):
+        check_grad(lambda a: (a.sum(axis=1, keepdims=True) * a), (3, 4))
+
+    def test_mean(self):
+        check_grad(lambda a: a.mean(axis=-1), (4, 5))
+
+    def test_reshape_transpose(self):
+        check_grad(lambda a: (a.reshape(2, 6).transpose(1, 0) ** 2.0), (3, 4))
+
+    def test_getitem(self):
+        check_grad(lambda a: a[1:, :2] * 2.0, (3, 4))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        ((a * 2.0) + (a * 3.0)).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 5.0))
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with no_grad():
+            out = (a * 2.0).sum()
+        assert out._prev == ()
+        out.backward()
+        assert a.grad is None
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_non_grad_leaf_untouched(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=False)
+        (a * b).sum().backward()
+        assert b.grad is None
+
+    def test_scalar_helpers(self):
+        t = Tensor(3.5)
+        assert t.item() == pytest.approx(3.5)
+        assert t.shape == ()
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)) * 50)
+        y = x.softmax(axis=-1)
+        np.testing.assert_allclose(y.data.sum(axis=-1), np.ones(5), atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float32, (3, 4),
+              elements=st.floats(-3, 3, width=32)))
+def test_identities_hold(x):
+    """(a + a) == 2a and softmax is shift-invariant, elementwise."""
+    a = Tensor(x)
+    np.testing.assert_allclose((a + a).data, (a * 2.0).data, atol=1e-5)
+    shifted = Tensor(x + 10.0)
+    np.testing.assert_allclose(
+        a.softmax(-1).data, shifted.softmax(-1).data, atol=1e-4
+    )

@@ -1,0 +1,144 @@
+"""Tests for TinyLMM: forward paths, heads, and LoRA management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, TaskHead, TinyLMM, TinyLMMConfig
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture()
+def model(rng):
+    return TinyLMM(TinyLMMConfig(feature_dim=8, dim=16, num_layers=1,
+                                 num_heads=2, vocab_size=12, max_patches=4),
+                   rng=rng)
+
+
+def batch(model, rng, n=6):
+    cfg = model.config
+    x = rng.normal(size=(n, cfg.max_patches, cfg.feature_dim)).astype(np.float32)
+    prompts = rng.integers(0, cfg.num_prompts, n)
+    labels = rng.integers(0, 5, n)
+    return x, prompts, labels
+
+
+class TestForward:
+    def test_lm_logits_shape(self, model, rng):
+        x, p, _ = batch(model, rng)
+        assert model.lm_logits(x, p).shape == (6, 12)
+
+    def test_feature_validation(self, model, rng):
+        with pytest.raises(ValueError):
+            model.forward_features(np.zeros((2, 4, 99)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            model.forward_features(np.zeros((2, 99, 8)), np.zeros(2, dtype=int))
+
+    def test_prompt_conditions_output(self, model, rng):
+        x, p, _ = batch(model, rng)
+        out_a = model.lm_logits(x, np.zeros(6, dtype=int)).data
+        out_b = model.lm_logits(x, np.ones(6, dtype=int)).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_deterministic_forward(self, model, rng):
+        x, p, _ = batch(model, rng)
+        a = model.lm_logits(x, p).data
+        b = model.lm_logits(x, p).data
+        np.testing.assert_allclose(a, b)
+
+
+class TestTaskHeads:
+    def test_register_and_use(self, model, rng):
+        model.add_task_head("action", 7, rng=rng)
+        x, p, _ = batch(model, rng)
+        assert model.task_logits(x, p, "action").shape == (6, 7)
+
+    def test_duplicate_rejected(self, model, rng):
+        model.add_task_head("a", 3, rng=rng)
+        with pytest.raises(ValueError):
+            model.add_task_head("a", 3, rng=rng)
+
+    def test_unknown_head_rejected(self, model, rng):
+        x, p, _ = batch(model, rng)
+        with pytest.raises(KeyError):
+            model.task_logits(x, p, "missing")
+
+    def test_head_min_classes(self):
+        with pytest.raises(ValueError):
+            TaskHead(8, 1)
+
+
+class TestLoRAManagement:
+    def test_add_lora_freezes_base(self, model, rng):
+        model.add_lora(2, rng=rng)
+        lora_params = {id(p) for p in model.lora_parameters()}
+        for p in model.parameters():
+            if p.requires_grad:
+                assert id(p) in lora_params
+
+    def test_double_install_rejected(self, model, rng):
+        model.add_lora(2, rng=rng)
+        with pytest.raises(RuntimeError):
+            model.add_lora(2, rng=rng)
+
+    def test_projector_included_by_default(self, model, rng):
+        layers = model.add_lora(2, rng=rng)
+        # 1 projector + 2 per block (q, v) x 1 block.
+        assert len(layers) == 3
+
+    def test_projector_opt_out(self, model, rng):
+        layers = model.add_lora(2, rng=rng, include_projector=False)
+        assert len(layers) == 2
+
+    def test_snapshot_roundtrip(self, model, rng):
+        model.add_lora(2, rng=rng)
+        x, p, y = batch(model, rng)
+        opt = Adam(model.lora_parameters(), lr=1e-2)
+        for _ in range(5):
+            loss = model.loss(x, p, y)
+            opt.zero_grad(); loss.backward(); opt.step()
+        snap = model.lora_snapshot()
+        out = model.lm_logits(x, p).data.copy()
+        model.lora_reset(rng)
+        model.lora_load(snap)
+        np.testing.assert_allclose(model.lm_logits(x, p).data, out, atol=1e-5)
+
+    def test_snapshot_count_validated(self, model, rng):
+        model.add_lora(2, rng=rng)
+        with pytest.raises(ValueError):
+            model.lora_load(model.lora_snapshot()[:-1])
+
+    def test_merge_unmerge_preserve_logits(self, model, rng):
+        model.add_lora(2, rng=rng)
+        x, p, y = batch(model, rng)
+        opt = Adam(model.lora_parameters(), lr=1e-2)
+        for _ in range(5):
+            loss = model.loss(x, p, y)
+            opt.zero_grad(); loss.backward(); opt.step()
+        before = model.lm_logits(x, p).data.copy()
+        model.merge_loras()
+        np.testing.assert_allclose(model.lm_logits(x, p).data, before,
+                                   atol=1e-4)
+        model.unmerge_loras()
+        np.testing.assert_allclose(model.lm_logits(x, p).data, before,
+                                   atol=1e-4)
+
+    def test_lora_training_reduces_loss(self, model, rng):
+        model.add_lora(2, rng=rng)
+        x, p, y = batch(model, rng, n=24)
+        initial = model.loss(x, p, y).item()
+        opt = Adam(model.lora_parameters(), lr=5e-3)
+        for _ in range(30):
+            loss = model.loss(x, p, y)
+            opt.zero_grad(); loss.backward(); opt.step()
+        assert model.loss(x, p, y).item() < initial
+
+    def test_accuracy_and_loss_heads_agree(self, model, rng):
+        model.add_task_head("h", 5, rng=rng)
+        x, p, y = batch(model, rng)
+        acc = model.accuracy(x, p, y, head_name="h")
+        assert 0.0 <= acc <= 1.0
+        assert model.loss(x, p, y, head_name="h").item() > 0

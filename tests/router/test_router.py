@@ -1,0 +1,141 @@
+"""Tests for query-to-adapter routing."""
+
+import pytest
+
+from repro.router import EmbeddingRouter, KeywordRouter, Route, RoutedFrontend
+
+
+class TestRoute:
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            Route("a", "visual_qa", 1.5)
+
+
+class TestKeywordRouter:
+    @pytest.fixture()
+    def router(self):
+        r = KeywordRouter()
+        r.register("det-lora", "object_detection",
+                   ["detect", "find", "locate", "car", "person"])
+        r.register("vqa-lora", "visual_qa",
+                   ["what", "why", "how", "question"])
+        r.register("video-lora", "video_understanding",
+                   ["action", "activity", "video"])
+        return r
+
+    def test_routes_by_keywords(self, router):
+        route = router.route("Find the person at the corner")
+        assert route.adapter_id == "det-lora"
+        assert route.task_name == "object_detection"
+
+    def test_most_hits_wins(self, router):
+        # "what ... video action" -> 1 vqa hit vs 2 video hits.
+        route = router.route("what action happens in this video")
+        assert route.adapter_id == "video-lora"
+
+    def test_case_insensitive(self, router):
+        assert router.route("DETECT CARS").adapter_id == "det-lora"
+
+    def test_no_match_raises(self, router):
+        with pytest.raises(LookupError):
+            router.route("bonjour le monde")
+
+    def test_registration_validation(self):
+        r = KeywordRouter()
+        with pytest.raises(KeyError):
+            r.register("a", "not-a-task", ["x"])
+        with pytest.raises(ValueError):
+            r.register("a", "visual_qa", [])
+
+    def test_confidence_grows_with_hits(self, router):
+        one = router.route("detect").confidence
+        three = router.route("detect and locate the car").confidence
+        assert three > one
+
+
+class TestEmbeddingRouter:
+    @pytest.fixture()
+    def router(self):
+        r = EmbeddingRouter(min_similarity=0.18)
+        r.register("det-lora", "object_detection", [
+            "find the red car in the frame",
+            "locate every person on the sidewalk",
+        ])
+        r.register("vqa-lora", "visual_qa", [
+            "what color is the traffic light",
+            "how many people are waiting at the corner",
+        ])
+        return r
+
+    def test_nearest_example_wins(self, router):
+        route = router.route("locate the blue car near the sidewalk")
+        assert route.adapter_id == "det-lora"
+        route = router.route("what color is the car")
+        assert route.adapter_id == "vqa-lora"
+
+    def test_dissimilar_query_raises(self, router):
+        with pytest.raises(LookupError):
+            router.route("zzz qqq xxx")
+
+    def test_empty_router_raises(self):
+        with pytest.raises(LookupError):
+            EmbeddingRouter().route("anything")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingRouter(dim=0)
+        r = EmbeddingRouter()
+        with pytest.raises(ValueError):
+            r.register("a", "visual_qa", [])
+        with pytest.raises(KeyError):
+            r.register("a", "poetry", ["x"])
+
+
+class TestRoutedFrontend:
+    @pytest.fixture()
+    def frontend(self):
+        r = KeywordRouter()
+        r.register("det-lora", "object_detection", ["detect", "find"])
+        r.register("vqa-lora", "visual_qa", ["what", "how"])
+        return RoutedFrontend(router=r, use_task_heads=True)
+
+    def test_detection_uses_task_head(self, frontend):
+        req = frontend.make_request("detect the bus", arrival_time=1.0)
+        assert req.adapter_id == "det-lora"
+        assert req.use_task_head
+        assert req.output_tokens == 1
+        assert req.arrival_time == 1.0
+
+    def test_vqa_uses_lm_head(self, frontend):
+        req = frontend.make_request("what is happening", arrival_time=0.0)
+        assert not req.use_task_head
+        assert req.output_tokens > 1
+
+    def test_prefix_key_propagates(self, frontend):
+        req = frontend.make_request("find the dog", arrival_time=0.0,
+                                    prefix_key="img-9")
+        assert req.prefix_key == "img-9"
+        assert req.prefix_tokens > 0
+
+    def test_batch_routing(self, frontend):
+        reqs = frontend.make_requests([
+            ("find the dog", 0.0), ("what is this", 0.5),
+        ])
+        assert [r.adapter_id for r in reqs] == ["det-lora", "vqa-lora"]
+
+    def test_frontend_requests_servable(self, frontend):
+        """Routed requests run through a real engine."""
+        from repro.core import SystemBuilder
+        from repro.models import QWEN_VL_7B, LoRAAdapterSpec
+        specs = [
+            LoRAAdapterSpec("det-lora", QWEN_VL_7B, task_head_classes=96),
+            LoRAAdapterSpec("vqa-lora", QWEN_VL_7B),
+        ]
+        engine = SystemBuilder(adapter_specs=specs).build("v-lora")
+        reqs = frontend.make_requests([
+            ("find the dog", 0.0),
+            ("what is the dog doing", 0.2),
+        ])
+        engine.submit(reqs)
+        metrics = engine.run()
+        assert metrics.num_completed == 2

@@ -1,0 +1,112 @@
+"""Tests for multi-GPU dispatch policies and tensor parallelism."""
+
+import pytest
+
+from repro.core import SystemBuilder
+from repro.hardware import A100_80GB
+from repro.models import INTERNVL2_76B, QWEN_VL_7B, IterationCostModel
+from repro.runtime import MultiGPUServer, Request, UnifiedMemoryManager
+from repro.workloads import RetrievalWorkload
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return SystemBuilder(num_adapters=4, max_batch_size=16)
+
+
+def burst(adapters, n, arrival=0.0):
+    return [
+        Request(adapter_id=adapters[i % len(adapters)],
+                arrival_time=arrival + 0.001 * i,
+                input_tokens=64, output_tokens=4)
+        for i in range(n)
+    ]
+
+
+class TestDispatchPolicies:
+    def test_round_robin_spreads_evenly(self, builder):
+        server = MultiGPUServer.replicate(
+            lambda: builder.build("v-lora"), 2, dispatch="round-robin"
+        )
+        server.submit(burst(builder.adapter_ids, 10))
+        server.run()
+        completed = server.per_engine_completed()
+        assert completed == [5, 5]
+
+    def test_affinity_pins_adapters(self, builder):
+        server = MultiGPUServer.replicate(
+            lambda: builder.build("v-lora"), 2, dispatch="adapter-affinity"
+        )
+        server.submit(burst(builder.adapter_ids, 16))
+        server.run()
+        # Every adapter's requests landed on exactly one engine.
+        for engine in server.engines:
+            by_adapter = engine.metrics.by_adapter()
+            for adapter, recs in by_adapter.items():
+                others = [
+                    e for e in server.engines
+                    if e is not engine and adapter in e.metrics.by_adapter()
+                ]
+                assert not others, adapter
+
+    def test_affinity_trades_balance_for_locality(self, builder):
+        """Pinning adapters to home replicas skews per-replica load
+        under adapter-popularity skew (the future-work trade-off)."""
+        def spread(dispatch):
+            server = MultiGPUServer.replicate(
+                lambda: builder.build("v-lora"), 2, dispatch=dispatch
+            )
+            wl = RetrievalWorkload(builder.adapter_ids, rate_rps=16.0,
+                                   duration_s=15.0, top_adapter_share=0.6,
+                                   seed=8)
+            server.submit(wl.generate())
+            server.run()
+            counts = server.per_engine_completed()
+            return max(counts) - min(counts)
+
+        assert spread("adapter-affinity") >= spread("round-robin")
+
+    def test_unknown_policy_rejected(self, builder):
+        with pytest.raises(ValueError, match="unknown dispatch"):
+            MultiGPUServer([builder.build("v-lora")], dispatch="random")
+
+
+class TestTensorParallel:
+    def test_cost_model_validation(self):
+        with pytest.raises(ValueError):
+            IterationCostModel(QWEN_VL_7B, A100_80GB, tp_degree=0)
+
+    def test_tp_speeds_up_decode(self):
+        tp1 = IterationCostModel(QWEN_VL_7B, A100_80GB, tp_degree=1)
+        tp4 = IterationCostModel(QWEN_VL_7B, A100_80GB, tp_degree=4)
+        assert tp4.decode_seconds([512] * 8) < tp1.decode_seconds([512] * 8)
+
+    def test_allreduce_is_not_free(self):
+        """TP-4 must be sub-linear: all-reduces eat part of the gain."""
+        tp1 = IterationCostModel(QWEN_VL_7B, A100_80GB, tp_degree=1)
+        tp4 = IterationCostModel(QWEN_VL_7B, A100_80GB, tp_degree=4)
+        speedup = tp1.decode_seconds([512] * 8) / tp4.decode_seconds([512] * 8)
+        assert 1.2 < speedup < 4.0
+
+    def test_76b_needs_tp_on_a100(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            UnifiedMemoryManager(INTERNVL2_76B, A100_80GB, tp_degree=1)
+        mm = UnifiedMemoryManager(INTERNVL2_76B, A100_80GB, tp_degree=4)
+        assert mm.kv_token_capacity > 10_000
+
+    def test_76b_serves_end_to_end(self):
+        b = SystemBuilder(model=INTERNVL2_76B, num_adapters=2,
+                          tensor_parallel=4, max_batch_size=16)
+        engine = b.build("v-lora")
+        engine.submit(burst(b.adapter_ids, 6))
+        metrics = engine.run()
+        assert metrics.num_completed == 6
+
+    def test_tp_lowers_e2e_latency_for_7b(self):
+        def run(tp):
+            b = SystemBuilder(num_adapters=2, tensor_parallel=tp)
+            engine = b.build("v-lora")
+            engine.submit(burst(b.adapter_ids, 12))
+            return engine.run().mean_latency()
+
+        assert run(2) < run(1)

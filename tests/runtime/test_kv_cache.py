@@ -1,0 +1,181 @@
+"""Tests for the paged KV cache, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.runtime import BlockAllocationError, PagedKVCache
+
+
+class TestBasics:
+    def test_capacity_accounting(self):
+        kv = PagedKVCache(num_blocks=10, block_size=16)
+        assert kv.free_blocks == 10
+        kv.allocate(1, 40)  # 3 blocks
+        assert kv.used_blocks == 3
+        assert kv.free_tokens() == 7 * 16
+
+    def test_allocate_free_roundtrip(self):
+        kv = PagedKVCache(num_blocks=4, block_size=16)
+        kv.allocate(1, 64)
+        assert kv.free_blocks == 0
+        kv.free(1)
+        assert kv.free_blocks == 4
+        kv.check_invariants()
+
+    def test_over_allocation_rejected(self):
+        kv = PagedKVCache(num_blocks=2, block_size=16)
+        with pytest.raises(BlockAllocationError):
+            kv.allocate(1, 100)
+
+    def test_duplicate_sequence_rejected(self):
+        kv = PagedKVCache(num_blocks=4, block_size=16)
+        kv.allocate(1, 16)
+        with pytest.raises(BlockAllocationError):
+            kv.allocate(1, 16)
+
+    def test_unknown_sequence_rejected(self):
+        kv = PagedKVCache(num_blocks=4, block_size=16)
+        with pytest.raises(BlockAllocationError):
+            kv.free(9)
+        with pytest.raises(BlockAllocationError):
+            kv.append_token(9)
+
+    def test_append_grows_at_block_boundary(self):
+        kv = PagedKVCache(num_blocks=4, block_size=4)
+        kv.allocate(1, 4)
+        assert kv.used_blocks == 1
+        kv.append_token(1)  # 5th token -> new block
+        assert kv.used_blocks == 2
+        assert kv.sequence_tokens(1) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagedKVCache(num_blocks=0)
+        kv = PagedKVCache(num_blocks=2)
+        with pytest.raises(ValueError):
+            kv.allocate(1, 0)
+        with pytest.raises(ValueError):
+            kv.allocate(1, 10, prefix_tokens=20)
+
+
+class TestPrefixReuse:
+    """§5 'KV cache reuse': repeated images share KV blocks."""
+
+    def test_first_request_registers_prefix(self):
+        kv = PagedKVCache(num_blocks=32, block_size=16)
+        reused = kv.allocate(1, 300, prefix_key="img-A", prefix_tokens=256)
+        assert reused == 0
+        assert kv.has_prefix("img-A")
+
+    def test_second_request_reuses_blocks(self):
+        kv = PagedKVCache(num_blocks=64, block_size=16)
+        kv.allocate(1, 300, prefix_key="img-A", prefix_tokens=256)
+        used_before = kv.used_blocks
+        reused = kv.allocate(2, 300, prefix_key="img-A", prefix_tokens=256)
+        assert reused == 256  # 16 full blocks
+        # Only the non-shared remainder allocates fresh blocks.
+        assert kv.used_blocks == used_before + ((300 - 256 + 15) // 16)
+
+    def test_shared_blocks_survive_owner_free(self):
+        kv = PagedKVCache(num_blocks=64, block_size=16)
+        kv.allocate(1, 256, prefix_key="img-A", prefix_tokens=256)
+        kv.allocate(2, 256, prefix_key="img-A", prefix_tokens=256)
+        kv.free(1)
+        kv.check_invariants()
+        # Sequence 2 still reads the shared prefix.
+        assert kv.sequence_tokens(2) == 256
+        kv.free(2)
+        # Prefix still cached until dropped.
+        assert kv.has_prefix("img-A")
+        kv.drop_prefix("img-A")
+        assert kv.free_blocks == 64
+
+    def test_tiny_prefix_not_shared(self):
+        kv = PagedKVCache(num_blocks=8, block_size=16)
+        kv.allocate(1, 20, prefix_key="img-A", prefix_tokens=8)
+        assert not kv.has_prefix("img-A")
+
+    def test_stale_prefix_eviction(self):
+        kv = PagedKVCache(num_blocks=64, block_size=16)
+        kv.allocate(1, 256, prefix_key="old", prefix_tokens=256, now=0.0)
+        kv.free(1)
+        kv.allocate(2, 256, prefix_key="new", prefix_tokens=256, now=100.0)
+        dropped = kv.evict_stale_prefixes(older_than=50.0)
+        assert dropped == 1
+        assert not kv.has_prefix("old")
+        assert kv.has_prefix("new")
+
+    def test_drop_unknown_prefix_rejected(self):
+        with pytest.raises(KeyError):
+            PagedKVCache(num_blocks=4).drop_prefix("nope")
+
+
+class KVCacheMachine(RuleBasedStateMachine):
+    """Stateful property test: invariants hold under arbitrary op orders."""
+
+    def __init__(self):
+        super().__init__()
+        self.kv = PagedKVCache(num_blocks=24, block_size=4)
+        self.live = set()
+        self.next_id = 0
+
+    @rule(tokens=st.integers(1, 40),
+          with_prefix=st.booleans(),
+          key=st.sampled_from(["a", "b", "c"]))
+    def allocate(self, tokens, with_prefix, key):
+        seq = self.next_id
+        self.next_id += 1
+        kwargs = {}
+        if with_prefix:
+            kwargs = {"prefix_key": key, "prefix_tokens": min(tokens, 8)}
+        try:
+            self.kv.allocate(seq, tokens, **kwargs)
+            self.live.add(seq)
+        except BlockAllocationError:
+            pass  # full cache is a legal outcome
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def append(self, data):
+        seq = data.draw(st.sampled_from(sorted(self.live)))
+        before = self.kv.sequence_tokens(seq)
+        try:
+            self.kv.append_token(seq)
+            assert self.kv.sequence_tokens(seq) == before + 1
+        except BlockAllocationError:
+            pass
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        seq = data.draw(st.sampled_from(sorted(self.live)))
+        self.kv.free(seq)
+        self.live.remove(seq)
+
+    @rule(key=st.sampled_from(["a", "b", "c"]))
+    def drop_prefix(self, key):
+        if self.kv.has_prefix(key):
+            self.kv.drop_prefix(key)
+
+    @invariant()
+    def blocks_conserved(self):
+        self.kv.check_invariants()
+        assert self.kv.free_blocks + self.kv.used_blocks == self.kv.num_blocks
+
+    @invariant()
+    def no_live_sequence_overflows(self):
+        for seq in self.live:
+            assert self.kv.sequence_tokens(seq) >= 1
+
+
+TestKVCacheStateful = KVCacheMachine.TestCase
+TestKVCacheStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

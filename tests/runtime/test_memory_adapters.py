@@ -1,0 +1,102 @@
+"""Tests for unified memory planning and adapter residency."""
+
+import pytest
+
+from repro.hardware import A10, A100_80GB, TransferModel
+from repro.models import LLAVA15_13B, QWEN_VL_7B, LoRAAdapterSpec
+from repro.runtime import AdapterManager, UnifiedMemoryManager
+
+
+class TestUnifiedMemory:
+    def test_plan_adds_up(self):
+        mm = UnifiedMemoryManager(QWEN_VL_7B, A100_80GB, adapter_slots=8)
+        p = mm.plan
+        assert (p.weights_bytes + p.adapter_pool_bytes
+                + p.activation_reserve_bytes + p.kv_bytes) <= p.total_bytes
+        assert p.kv_bytes > 0
+
+    def test_kv_capacity_reasonable(self):
+        """~55 GB of KV at 0.5 MB/token -> ~1e5 tokens on A100-80GB."""
+        mm = UnifiedMemoryManager(QWEN_VL_7B, A100_80GB, adapter_slots=8)
+        assert 60_000 < mm.kv_token_capacity < 140_000
+
+    def test_more_slots_less_kv(self):
+        few = UnifiedMemoryManager(QWEN_VL_7B, A100_80GB, adapter_slots=2)
+        many = UnifiedMemoryManager(QWEN_VL_7B, A100_80GB, adapter_slots=64)
+        assert many.kv_token_capacity < few.kv_token_capacity
+
+    def test_model_too_big_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            UnifiedMemoryManager(LLAVA15_13B, A10)
+
+    def test_build_kv_cache_matches_plan(self):
+        mm = UnifiedMemoryManager(QWEN_VL_7B, A100_80GB, adapter_slots=4)
+        kv = mm.build_kv_cache()
+        assert kv.num_blocks == mm.kv_block_count
+        assert kv.kv_bytes_per_token == QWEN_VL_7B.kv_bytes_per_token
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            UnifiedMemoryManager(QWEN_VL_7B, A100_80GB, adapter_slots=-1)
+
+
+def specs(n, model=QWEN_VL_7B):
+    return [LoRAAdapterSpec(f"a{i}", model) for i in range(n)]
+
+
+class TestAdapterManager:
+    def make(self, n=4, slots=2, async_swap=True):
+        return AdapterManager(
+            specs(n), gpu_slots=slots,
+            transfer_model=TransferModel(A100_80GB),
+            async_swap=async_swap,
+        )
+
+    def test_warm_start_fills_slots(self):
+        mgr = self.make(n=4, slots=2)
+        assert len(mgr.resident_ids) == 2
+
+    def test_resident_adapters_are_free(self):
+        mgr = self.make()
+        stall = mgr.ensure_resident(["a0"], now=0.0)
+        assert stall == 0.0
+
+    def test_miss_costs_a_swap(self):
+        mgr = self.make()
+        stall = mgr.ensure_resident(["a3"], now=0.0)
+        assert stall > 0.0
+        assert mgr.is_resident("a3")
+        assert mgr.total_swap_ins() == 1
+
+    def test_lru_eviction(self):
+        mgr = self.make(n=3, slots=2)  # a0, a1 resident
+        mgr.ensure_resident(["a1"], now=1.0)
+        mgr.ensure_resident(["a2"], now=2.0)  # evicts a0 (older)
+        assert not mgr.is_resident("a0")
+        assert mgr.is_resident("a1") and mgr.is_resident("a2")
+
+    def test_async_swap_cheaper_than_sync(self):
+        sync = self.make(async_swap=False).ensure_resident(["a3"], 0.0)
+        async_ = self.make(async_swap=True).ensure_resident(["a3"], 0.0)
+        assert async_ < sync
+
+    def test_batch_larger_than_slots_rejected(self):
+        mgr = self.make(n=4, slots=2)
+        with pytest.raises(RuntimeError):
+            mgr.ensure_resident(["a0", "a1", "a2"], now=0.0)
+
+    def test_unknown_adapter_lists_known(self):
+        mgr = self.make()
+        with pytest.raises(KeyError, match="a0"):
+            mgr.ensure_resident(["zz"], now=0.0)
+
+    def test_duplicate_ids_rejected(self):
+        bad = specs(2) + [LoRAAdapterSpec("a0", QWEN_VL_7B)]
+        with pytest.raises(ValueError):
+            AdapterManager(bad, gpu_slots=2,
+                           transfer_model=TransferModel(A100_80GB))
+
+    def test_requested_set_never_self_evicts(self):
+        mgr = self.make(n=4, slots=2)
+        mgr.ensure_resident(["a2", "a3"], now=1.0)
+        assert mgr.is_resident("a2") and mgr.is_resident("a3")

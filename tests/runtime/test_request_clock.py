@@ -1,0 +1,81 @@
+"""Tests for Request lifecycle and the simulated clock."""
+
+import pytest
+
+from repro.runtime import Request, SimClock
+from repro.runtime.request import RequestStatus
+
+
+class TestSimClock:
+    def test_advances_monotonically(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_to_never_rewinds(self):
+        clock = SimClock(start=5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+
+class TestRequest:
+    def make(self, **kwargs):
+        defaults = dict(adapter_id="a", arrival_time=1.0,
+                        input_tokens=100, output_tokens=10)
+        defaults.update(kwargs)
+        return Request(**defaults)
+
+    def test_ids_unique(self):
+        assert self.make().request_id != self.make().request_id
+
+    def test_token_accounting(self):
+        r = self.make()
+        assert r.total_tokens == 110
+        assert r.context_len == 100
+        r.generated = 4
+        assert r.context_len == 104
+        assert r.remaining == 6
+        assert not r.is_finished
+        r.generated = 10
+        assert r.is_finished
+
+    def test_latency_requires_finish(self):
+        r = self.make()
+        with pytest.raises(RuntimeError):
+            r.latency()
+        r.finish_time = 3.5
+        assert r.latency() == pytest.approx(2.5)
+
+    def test_waiting_time_clamped(self):
+        r = self.make()
+        assert r.waiting_time(0.5) == 0.0
+        assert r.waiting_time(4.0) == pytest.approx(3.0)
+
+    def test_task_head_requires_single_round(self):
+        with pytest.raises(ValueError):
+            self.make(use_task_head=True, output_tokens=5)
+        r = self.make(use_task_head=True, output_tokens=1)
+        assert r.output_tokens == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(input_tokens=0)
+        with pytest.raises(ValueError):
+            self.make(output_tokens=0)
+        with pytest.raises(ValueError):
+            self.make(arrival_time=-1.0)
+        with pytest.raises(ValueError):
+            self.make(prefix_tokens=101)
+
+    def test_initial_status(self):
+        assert self.make().status is RequestStatus.WAITING

@@ -1,0 +1,116 @@
+"""Tests for per-iteration engine tracing."""
+
+import pytest
+
+from repro.core import SystemBuilder
+from repro.runtime import Request
+from repro.runtime.tracing import EngineTracer, IterationEvent
+from repro.workloads import RetrievalWorkload
+
+
+def event(index=0, start=0.0, duration=0.01, mode="unmerged",
+          switch=0.0, **kw):
+    defaults = dict(
+        index=index, start=start, duration=duration, mode=mode,
+        merged_adapter=None, batch_size=1, prefill_tokens=10,
+        decode_tokens=5, adapters=("a",), switch_seconds=switch,
+        swap_stall_seconds=0.0, preemptions=0,
+    )
+    defaults.update(kw)
+    return IterationEvent(**defaults)
+
+
+class TestTracerUnit:
+    def test_time_by_mode_accumulates(self):
+        t = EngineTracer()
+        t.record(event(mode="merged", duration=0.2))
+        t.record(event(mode="merged", duration=0.3))
+        t.record(event(mode="unmerged", duration=0.1))
+        assert t.time_by_mode() == pytest.approx(
+            {"merged": 0.5, "unmerged": 0.1}
+        )
+
+    def test_switch_accounting(self):
+        t = EngineTracer()
+        t.record(event(switch=0.05))
+        t.record(event(switch=0.0))
+        assert len(t.switch_events()) == 1
+        assert t.total_switch_time() == pytest.approx(0.05)
+
+    def test_mode_segments_merge_contiguous(self):
+        t = EngineTracer()
+        t.record(event(start=0.0, duration=0.1, mode="merged"))
+        t.record(event(start=0.1, duration=0.1, mode="merged"))
+        t.record(event(start=0.2, duration=0.1, mode="unmerged"))
+        segments = t.mode_segments()
+        assert len(segments) == 2
+        assert segments[0] == ("merged", 0.0, pytest.approx(0.2))
+
+    def test_bounded_events(self):
+        t = EngineTracer(max_events=2)
+        for i in range(5):
+            t.record(event(index=i))
+        assert len(t.events) == 2
+        assert t.num_dropped == 3
+
+    def test_render_requires_events(self):
+        with pytest.raises(ValueError):
+            EngineTracer().render_timeline()
+
+    def test_event_derived_fields(self):
+        e = event(start=1.0, duration=0.5, prefill_tokens=3, decode_tokens=4)
+        assert e.end == pytest.approx(1.5)
+        assert e.total_tokens == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineTracer(max_events=0)
+
+
+class TestTracerIntegration:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        builder = SystemBuilder(num_adapters=4, max_batch_size=16)
+        engine = builder.build("v-lora")
+        tracer = engine.attach_tracer()
+        wl = RetrievalWorkload(builder.adapter_ids, rate_rps=8.0,
+                               duration_s=10.0, top_adapter_share=0.7,
+                               seed=3)
+        engine.submit(wl.generate())
+        metrics = engine.run()
+        return engine, tracer, metrics
+
+    def test_one_event_per_iteration(self, traced_run):
+        _, tracer, metrics = traced_run
+        assert len(tracer.events) == metrics.iterations
+
+    def test_mode_time_matches_metrics_counts(self, traced_run):
+        _, tracer, metrics = traced_run
+        by_mode = {}
+        for e in tracer.events:
+            by_mode[e.mode] = by_mode.get(e.mode, 0) + 1
+        assert by_mode == metrics.mode_iterations
+
+    def test_switch_time_matches_metrics(self, traced_run):
+        _, tracer, metrics = traced_run
+        assert tracer.total_switch_time() == pytest.approx(
+            metrics.switch_time_total
+        )
+
+    def test_timeline_renders(self, traced_run):
+        _, tracer, _ = traced_run
+        out = tracer.render_timeline(width=40)
+        assert "U" in out or "M" in out or "X" in out
+
+    def test_events_monotone_in_time(self, traced_run):
+        _, tracer, _ = traced_run
+        starts = [e.start for e in tracer.events]
+        assert starts == sorted(starts)
+
+    def test_untraced_engine_records_nothing(self):
+        builder = SystemBuilder(num_adapters=2)
+        engine = builder.build("v-lora")
+        engine.submit([Request(adapter_id="lora-0", arrival_time=0.0,
+                               input_tokens=32, output_tokens=2)])
+        engine.run()
+        assert engine.tracer is None

@@ -1,0 +1,88 @@
+"""Tests for diurnal load patterns."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import RetrievalWorkload
+from repro.workloads.diurnal import DiurnalPattern, diurnal_retrieval
+
+ADAPTERS = ["lora-0", "lora-1"]
+
+
+class TestPattern:
+    def test_bounds(self):
+        p = DiurnalPattern(peak_rps=10.0, trough_rps=2.0, period_s=60.0)
+        rates = [p.rate_at(t) for t in np.linspace(0, 120, 200)]
+        assert min(rates) >= 2.0 - 1e-9
+        assert max(rates) <= 10.0 + 1e-9
+
+    def test_default_phase_starts_at_trough(self):
+        p = DiurnalPattern(peak_rps=10.0, trough_rps=2.0, period_s=60.0)
+        assert p.rate_at(0.0) == pytest.approx(2.0)
+        assert p.rate_at(30.0) == pytest.approx(10.0)
+
+    def test_periodicity(self):
+        p = DiurnalPattern(peak_rps=8.0, trough_rps=1.0, period_s=40.0)
+        assert p.rate_at(7.0) == pytest.approx(p.rate_at(47.0))
+
+    def test_keep_probability_normalized(self):
+        p = DiurnalPattern(peak_rps=10.0, trough_rps=5.0, period_s=60.0)
+        for t in (0.0, 15.0, 30.0):
+            assert 0.0 <= p.keep_probability(t) <= 1.0
+        assert p.keep_probability(30.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(peak_rps=0.0, trough_rps=0.0, period_s=60.0)
+        with pytest.raises(ValueError):
+            DiurnalPattern(peak_rps=5.0, trough_rps=6.0, period_s=60.0)
+        with pytest.raises(ValueError):
+            DiurnalPattern(peak_rps=5.0, trough_rps=1.0, period_s=0.0)
+
+
+class TestThinning:
+    def test_rate_mismatch_rejected(self):
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=8.0, duration_s=10.0)
+        pattern = DiurnalPattern(peak_rps=10.0, trough_rps=2.0,
+                                 period_s=60.0)
+        with pytest.raises(ValueError, match="must equal"):
+            diurnal_retrieval(wl, pattern)
+
+    def test_thinning_follows_the_pattern(self):
+        peak = 20.0
+        period = 60.0
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=peak, duration_s=120.0,
+                               seed=3)
+        pattern = DiurnalPattern(peak_rps=peak, trough_rps=2.0,
+                                 period_s=period)
+        kept = diurnal_retrieval(wl, pattern, seed=4)
+        # Troughs are centered at t=0 and 60; peaks at t=30 and 90.
+        def count_in(lo, hi):
+            return sum(1 for r in kept if lo <= r.arrival_time < hi)
+        trough_traffic = count_in(50, 70)
+        peak_traffic = count_in(20, 40)
+        assert peak_traffic > 2 * trough_traffic
+
+    def test_deterministic(self):
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=10.0, duration_s=30.0,
+                               seed=1)
+        pattern = DiurnalPattern(peak_rps=10.0, trough_rps=3.0,
+                                 period_s=30.0)
+        a = diurnal_retrieval(wl, pattern, seed=2)
+        b = diurnal_retrieval(wl, pattern, seed=2)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_serves_through_engine(self):
+        from repro.core import SystemBuilder
+        builder = SystemBuilder(num_adapters=2)
+        wl = RetrievalWorkload(builder.adapter_ids, rate_rps=6.0,
+                               duration_s=20.0, seed=5)
+        pattern = DiurnalPattern(peak_rps=6.0, trough_rps=1.0,
+                                 period_s=20.0)
+        engine = builder.build("v-lora")
+        requests = diurnal_retrieval(wl, pattern, seed=6)
+        engine.submit(requests)
+        metrics = engine.run()
+        assert metrics.num_completed == len(requests)

@@ -1,0 +1,207 @@
+"""Tests for workload generators: Azure trace, retrieval, video, skew."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    AzureTraceConfig,
+    AzureTraceGenerator,
+    RetrievalWorkload,
+    VideoAnalyticsWorkload,
+    skewed_adapter_sampler,
+    zipf_shares,
+)
+from repro.workloads.skew import top_heavy_shares
+
+ADAPTERS = [f"lora-{i}" for i in range(4)]
+
+
+class TestAzureTrace:
+    def test_rate_is_approximately_honored(self):
+        cfg = AzureTraceConfig(rate_rps=10.0, duration_s=120.0, seed=1)
+        events = AzureTraceGenerator(cfg).events()
+        measured = len(events) / cfg.duration_s
+        assert measured == pytest.approx(10.0, rel=0.2)
+
+    def test_deterministic_per_seed(self):
+        cfg = AzureTraceConfig(seed=5)
+        a = AzureTraceGenerator(cfg).events()
+        b = AzureTraceGenerator(cfg).events()
+        assert [e.arrival_time for e in a] == [e.arrival_time for e in b]
+
+    def test_seeds_differ(self):
+        a = AzureTraceGenerator(AzureTraceConfig(seed=1)).events()
+        b = AzureTraceGenerator(AzureTraceConfig(seed=2)).events()
+        assert [e.arrival_time for e in a] != [e.arrival_time for e in b]
+
+    def test_arrivals_sorted_and_bounded(self):
+        cfg = AzureTraceConfig(duration_s=30.0)
+        times = [e.arrival_time for e in AzureTraceGenerator(cfg).events()]
+        assert times == sorted(times)
+        assert all(0 < t <= 30.0 for t in times)
+
+    def test_token_caps_respected(self):
+        cfg = AzureTraceConfig(max_input_tokens=512, max_output_tokens=64,
+                               duration_s=60.0)
+        for e in AzureTraceGenerator(cfg).events():
+            assert 8 <= e.input_tokens <= 512
+            assert 8 <= e.output_tokens <= 64
+
+    def test_burstiness_raises_variance(self):
+        smooth = AzureTraceGenerator(
+            AzureTraceConfig(burstiness_cv=0.3, duration_s=200.0)
+        ).events()
+        bursty = AzureTraceGenerator(
+            AzureTraceConfig(burstiness_cv=2.0, duration_s=200.0)
+        ).events()
+
+        def cv(events):
+            gaps = np.diff([e.arrival_time for e in events])
+            return gaps.std() / gaps.mean()
+
+        assert cv(bursty) > cv(smooth)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(rate_rps=0)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(duration_s=-1)
+
+
+class TestSkew:
+    def test_top_heavy_shares_sum_to_one(self):
+        shares = top_heavy_shares(5, 0.6)
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(0.6)
+
+    def test_top_share_below_uniform_rejected(self):
+        with pytest.raises(ValueError):
+            top_heavy_shares(4, 0.1)
+
+    def test_single_adapter(self):
+        assert top_heavy_shares(1, 1.0) == [1.0]
+
+    def test_zipf_decreasing(self):
+        shares = zipf_shares(6, alpha=1.0)
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_zipf_alpha_zero_uniform(self):
+        shares = zipf_shares(4, alpha=0.0)
+        assert all(s == pytest.approx(0.25) for s in shares)
+
+    def test_sampler_hits_target_share(self):
+        rng = np.random.default_rng(0)
+        sample = skewed_adapter_sampler(ADAPTERS, 0.7, rng)
+        draws = [sample() for _ in range(4000)]
+        share = draws.count(ADAPTERS[0]) / len(draws)
+        assert share == pytest.approx(0.7, abs=0.04)
+
+
+class TestRetrievalWorkload:
+    def test_generates_sorted_requests(self):
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=5.0, duration_s=20.0)
+        reqs = wl.generate()
+        assert len(reqs) > 40
+        times = [r.arrival_time for r in reqs]
+        assert times == sorted(times)
+
+    def test_task_mix_respected(self):
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=20.0, duration_s=60.0,
+                               task_mix={"visual_qa": 1.0})
+        reqs = wl.generate()
+        assert all(r.task_name == "visual_qa" for r in reqs)
+
+    def test_skew_controls_top_adapter(self):
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=20.0, duration_s=60.0,
+                               top_adapter_share=0.8, seed=2)
+        reqs = wl.generate()
+        counts = {}
+        for r in reqs:
+            counts[r.adapter_id] = counts.get(r.adapter_id, 0) + 1
+        top = max(counts.values()) / len(reqs)
+        assert top == pytest.approx(0.8, abs=0.06)
+
+    def test_task_heads_only_where_supported(self):
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=10.0, duration_s=30.0,
+                               use_task_heads=True)
+        for r in wl.generate():
+            if r.task_name == "visual_qa":
+                assert not r.use_task_head
+            if r.use_task_head:
+                assert r.output_tokens == 1
+
+    def test_image_reuse_produces_shared_prefixes(self):
+        wl = RetrievalWorkload(ADAPTERS, rate_rps=10.0, duration_s=60.0,
+                               image_reuse_prob=0.5, seed=1)
+        reqs = wl.generate()
+        keys = [r.prefix_key for r in reqs]
+        assert len(set(keys)) < len(keys)  # at least one key repeated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetrievalWorkload([], rate_rps=1.0)
+        with pytest.raises(ValueError):
+            RetrievalWorkload(ADAPTERS, task_mix={"visual_qa": 0.7})
+        with pytest.raises(ValueError):
+            RetrievalWorkload(ADAPTERS, task_mix={"ocr": 1.0})
+
+
+class TestVideoWorkload:
+    def test_chunk_structure(self):
+        wl = VideoAnalyticsWorkload(ADAPTERS, num_streams=2, duration_s=10.0,
+                                    detection_frames=4)
+        reqs = wl.generate()
+        vu = [r for r in reqs if r.task_name == "video_understanding"]
+        det = [r for r in reqs if r.task_name == "object_detection"]
+        assert len(vu) == 2 * 10
+        assert len(det) == 2 * 10 * 4
+
+    def test_requests_per_second_property(self):
+        wl = VideoAnalyticsWorkload(ADAPTERS, num_streams=3,
+                                    detection_frames=4)
+        assert wl.requests_per_second == pytest.approx(15.0)
+
+    def test_streams_pinned_to_adapters(self):
+        wl = VideoAnalyticsWorkload(ADAPTERS[:2], num_streams=2,
+                                    duration_s=5.0)
+        adapters = {r.adapter_id for r in wl.generate()}
+        assert adapters == set(ADAPTERS[:2])
+
+    def test_task_heads_flag(self):
+        with_heads = VideoAnalyticsWorkload(ADAPTERS, num_streams=1,
+                                            duration_s=3.0,
+                                            use_task_heads=True).generate()
+        assert all(r.use_task_head for r in with_heads)
+        without = VideoAnalyticsWorkload(ADAPTERS, num_streams=1,
+                                         duration_s=3.0,
+                                         use_task_heads=False).generate()
+        assert all(not r.use_task_head for r in without)
+        assert all(r.output_tokens > 1 for r in without)
+
+    def test_video_understanding_is_long_input(self):
+        wl = VideoAnalyticsWorkload(ADAPTERS, num_streams=1, duration_s=3.0)
+        vu = [r for r in wl.generate()
+              if r.task_name == "video_understanding"]
+        assert all(r.input_tokens >= 6 * 256 for r in vu)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoAnalyticsWorkload([], num_streams=1)
+        with pytest.raises(ValueError):
+            VideoAnalyticsWorkload(ADAPTERS, num_streams=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rate=st.floats(0.5, 20.0),
+    share=st.floats(0.3, 0.95),
+    seed=st.integers(0, 100),
+)
+def test_retrieval_generation_never_crashes(rate, share, seed):
+    wl = RetrievalWorkload(ADAPTERS, rate_rps=rate, duration_s=5.0,
+                           top_adapter_share=share, seed=seed)
+    for r in wl.generate():
+        assert r.input_tokens > 0 and r.output_tokens > 0
+        assert r.prefix_tokens <= r.input_tokens
