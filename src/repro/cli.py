@@ -52,6 +52,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="replay a JSONL trace instead of generating")
     serve.add_argument("--json", action="store_true",
                        help="print the metrics summary as JSON")
+    fault = serve.add_argument_group(
+        "fault injection (docs/FAULTS.md; rates are events per sim-second)"
+    )
+    fault.add_argument("--fault-seed", type=int, default=0)
+    fault.add_argument("--swap-fail-rate", type=float, default=0.0,
+                       help="adapter swap-in failure windows per second")
+    fault.add_argument("--swap-slow-rate", type=float, default=0.0,
+                       help="adapter swap slowdown windows per second")
+    fault.add_argument("--kv-pressure-rate", type=float, default=0.0,
+                       help="transient KV-memory pressure windows per second")
+    fault.add_argument("--engine-slow-rate", type=float, default=0.0,
+                       help="GPU straggler windows per second")
+    fault.add_argument("--deadline-factor", type=float, default=None,
+                       help="abort requests older than factor x their SLO")
+    fault.add_argument("--slo", type=float, default=None,
+                       help="attach this latency SLO (seconds) to every "
+                            "generated request")
+    fault.add_argument("--gpu-slots", type=int, default=None,
+                       help="GPU adapter slots (default: all adapters "
+                            "resident; lower it to exercise swaps)")
 
     compare = sub.add_parser(
         "compare", help="sweep request rates across all systems"
@@ -104,19 +124,57 @@ def _common_serving_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _parse_rates(text: str) -> Optional[List[float]]:
+    """Parse a comma-separated rate list; None on malformed input."""
+    try:
+        rates = [float(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        return None
+    if not rates or any(r <= 0 for r in rates):
+        return None
+    return rates
+
+
+def _make_fault_injector(args) -> "Optional[object]":
+    from repro.runtime.faults import FaultInjector
+
+    rates = (args.swap_fail_rate, args.swap_slow_rate,
+             args.kv_pressure_rate, args.engine_slow_rate)
+    if all(r <= 0 for r in rates):
+        return None
+    adapter_ids = [f"lora-{i}" for i in range(args.adapters)]
+    # Faults must be able to land after the arrival window too (the
+    # queue drains past --duration under load).
+    return FaultInjector.random(
+        horizon_s=args.duration * 4,
+        seed=args.fault_seed,
+        adapter_ids=adapter_ids,
+        engine_ids=("engine-0",),
+        swap_fail_rate=args.swap_fail_rate,
+        swap_slow_rate=args.swap_slow_rate,
+        kv_pressure_rate=args.kv_pressure_rate,
+        engine_slow_rate=args.engine_slow_rate,
+    )
+
+
 def _make_workload(args, system: str) -> list:
     builder_ids = [f"lora-{i}" for i in range(args.adapters)]
     heads = system == "v-lora"
+    slo = getattr(args, "slo", None)
     if args.workload == "retrieval":
         return RetrievalWorkload(
             builder_ids, rate_rps=args.rate, duration_s=args.duration,
             top_adapter_share=args.skew, use_task_heads=heads,
-            seed=args.seed,
+            slo_s=slo, seed=args.seed,
         ).generate()
-    return VideoAnalyticsWorkload(
+    requests = VideoAnalyticsWorkload(
         builder_ids, num_streams=max(1, int(args.rate)),
         duration_s=args.duration, use_task_heads=heads, seed=args.seed,
     ).generate()
+    if slo is not None:
+        for r in requests:
+            r.slo_s = slo
+    return requests
 
 
 def cmd_systems(_args) -> int:
@@ -145,12 +203,38 @@ def cmd_models(_args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.deadline_factor is not None and args.deadline_factor <= 0:
+        print(f"--deadline-factor must be positive, got {args.deadline_factor}",
+              file=sys.stderr)
+        return 2
+    fault_rates = (args.swap_fail_rate, args.swap_slow_rate,
+                   args.kv_pressure_rate, args.engine_slow_rate)
+    if any(r < 0 for r in fault_rates):
+        print("fault rates must be >= 0", file=sys.stderr)
+        return 2
+    if args.slo is not None and args.slo <= 0:
+        print(f"--slo must be positive, got {args.slo}", file=sys.stderr)
+        return 2
+    if args.gpu_slots is not None and args.gpu_slots <= 0:
+        print(f"--gpu-slots must be positive, got {args.gpu_slots}",
+              file=sys.stderr)
+        return 2
     builder = SystemBuilder(model=get_model(args.model),
                             num_adapters=args.adapters,
-                            jitter_seed=args.seed)
+                            gpu_adapter_slots=args.gpu_slots,
+                            jitter_seed=args.seed,
+                            fault_injector=_make_fault_injector(args),
+                            deadline_slo_factor=args.deadline_factor)
     engine = builder.build(args.system)
     if args.trace_in:
-        requests = load_trace(args.trace_in)
+        try:
+            requests = load_trace(args.trace_in)
+        except FileNotFoundError:
+            print(f"trace file not found: {args.trace_in}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(f"malformed trace {args.trace_in}: {exc}", file=sys.stderr)
+            return 2
     else:
         requests = _make_workload(args, args.system)
     if args.trace_out:
@@ -170,8 +254,18 @@ def cmd_serve(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    rates = [float(r) for r in args.rates.split(",") if r]
+    rates = _parse_rates(args.rates)
+    if rates is None:
+        print(f"malformed --rates {args.rates!r}; expected positive "
+              f"comma-separated numbers like '4,8,12'", file=sys.stderr)
+        return 2
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in systems if s not in SYSTEM_NAMES]
+    if unknown or not systems:
+        print(f"unknown system(s) {unknown or args.systems!r}; expected a "
+              f"comma-separated subset of {', '.join(SYSTEM_NAMES)}",
+              file=sys.stderr)
+        return 2
     builder = SystemBuilder(model=get_model(args.model),
                             num_adapters=args.adapters,
                             jitter_seed=args.seed)
@@ -257,7 +351,11 @@ def cmd_trace(args) -> int:
         save_trace(args.out, requests)
         print(f"wrote {len(requests)} requests to {args.out}")
         return 0
-    stats = trace_stats(load_trace(args.path))
+    try:
+        stats = trace_stats(load_trace(args.path))
+    except FileNotFoundError:
+        print(f"trace file not found: {args.path}", file=sys.stderr)
+        return 2
     print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 

@@ -34,6 +34,7 @@ from repro.models.config import QWEN_VL_7B, ModelConfig
 from repro.models.lora import LoRAAdapterSpec
 from repro.runtime.adapters import AdapterManager
 from repro.runtime.engine import EngineConfig, ServingEngine
+from repro.runtime.faults import FaultInjector
 from repro.runtime.memory import UnifiedMemoryManager
 from repro.runtime.scheduler import (
     DLoRAPolicy,
@@ -65,6 +66,11 @@ class SystemBuilder:
     jitter_seed: Optional[int] = 0
     enable_prefix_reuse: bool = True
     adapter_specs: Sequence[LoRAAdapterSpec] = field(default_factory=tuple)
+    #: Optional deterministic fault schedule shared by built engines.
+    fault_injector: Optional[FaultInjector] = None
+    #: Abort requests past ``deadline_slo_factor * slo_s`` (see
+    #: :class:`~repro.runtime.engine.EngineConfig`).
+    deadline_slo_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_adapters <= 0:
@@ -163,6 +169,7 @@ class SystemBuilder:
             # one at a time; every other system batches prefills.
             batch_prefills=(system != "punica"),
             tensor_parallel=self.tensor_parallel,
+            deadline_slo_factor=self.deadline_slo_factor,
         )
         return ServingEngine(
             model=self.model,
@@ -173,6 +180,7 @@ class SystemBuilder:
             adapter_manager=adapters,
             memory=memory,
             config=config,
+            fault_injector=self.fault_injector,
         )
 
 

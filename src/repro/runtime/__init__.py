@@ -19,8 +19,14 @@ vLLM/LightLLM, driven by the analytical cost models:
 * :mod:`repro.runtime.metrics` — latency/throughput accounting.
 """
 
-from repro.runtime.request import Request, RequestStatus
+from repro.runtime.request import (
+    AbortReason,
+    Request,
+    RequestStatus,
+    reset_request_ids,
+)
 from repro.runtime.clock import SimClock
+from repro.runtime.faults import FaultInjector, FaultKind, FaultSpec
 from repro.runtime.kv_cache import BlockAllocationError, PagedKVCache
 from repro.runtime.memory import UnifiedMemoryManager
 from repro.runtime.adapters import AdapterManager
@@ -36,12 +42,21 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.engine import EngineConfig, ServingEngine
 from repro.runtime.cluster import MultiGPUServer
-from repro.runtime.metrics import MetricsCollector, RequestRecord
+from repro.runtime.metrics import (
+    AbortRecord,
+    MetricsCollector,
+    RequestRecord,
+)
 
 __all__ = [
     "Request",
     "RequestStatus",
+    "AbortReason",
+    "reset_request_ids",
     "SimClock",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
     "PagedKVCache",
     "BlockAllocationError",
     "UnifiedMemoryManager",
@@ -63,4 +78,5 @@ __all__ = [
     "MultiGPUServer",
     "MetricsCollector",
     "RequestRecord",
+    "AbortRecord",
 ]

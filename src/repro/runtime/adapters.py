@@ -62,6 +62,8 @@ class AdapterManager:
         self._adapters: Dict[str, _Residency] = {
             s.adapter_id: _Residency(s) for s in specs
         }
+        #: Injected swap-in failures observed (fault injection).
+        self.swap_failures = 0
         # Warm start: the first adapters are resident (offline phase loads
         # them before serving begins).
         for res in list(self._adapters.values())[:gpu_slots]:
@@ -100,6 +102,21 @@ class AdapterManager:
         of the wire time hides behind compute; the returned stall is what
         the engine must still wait.
         """
+        stall, failed = self.try_ensure_resident(adapter_ids, now)
+        assert not failed  # no injector -> swaps cannot fail
+        return stall
+
+    def try_ensure_resident(
+        self, adapter_ids: Sequence[str], now: float, injector=None,
+    ) -> "tuple[float, List[str]]":
+        """Fault-aware residency: returns ``(stall_seconds, failed_ids)``.
+
+        With a :class:`~repro.runtime.faults.FaultInjector`, a swap-in
+        may fail (the attempted transfer time is still paid — the
+        failure is detected at completion) or be slowed by an active
+        ``ADAPTER_SWAP_SLOW`` window.  Failed adapters stay non-resident;
+        the engine is responsible for backoff/retry.
+        """
         needed = list(dict.fromkeys(adapter_ids))
         if len(needed) > self.gpu_slots:
             raise RuntimeError(
@@ -107,19 +124,28 @@ class AdapterManager:
                 f"{self.gpu_slots} GPU slots exist"
             )
         stall = 0.0
+        failed: List[str] = []
         for adapter_id in needed:
             entry = self._entry(adapter_id)
             entry.last_used = now
             if entry.on_gpu:
                 continue
-            self._evict_one(exclude=set(needed))
-            entry.on_gpu = True
-            entry.swap_ins += 1
-            stall += self.transfer.swap_seconds(
+            wire = self.transfer.swap_seconds(
                 entry.spec.ab_bytes, async_overlap=self.async_overlap,
                 software_overhead_s=self.swap_software_overhead_s,
             )
-        return stall
+            if injector is not None:
+                wire *= injector.swap_slowdown(adapter_id, now)
+                if injector.swap_should_fail(adapter_id, now):
+                    self.swap_failures += 1
+                    failed.append(adapter_id)
+                    stall += wire  # wasted transfer attempt
+                    continue
+            self._evict_one(exclude=set(needed))
+            entry.on_gpu = True
+            entry.swap_ins += 1
+            stall += wire
+        return stall, failed
 
     def _evict_one(self, exclude: set) -> None:
         resident = [

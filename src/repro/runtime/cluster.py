@@ -20,13 +20,19 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.runtime.engine import ServingEngine
 from repro.runtime.metrics import MetricsCollector
-from repro.runtime.request import Request
+from repro.runtime.request import AbortReason, Request
 
 DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity")
 
 
 class MultiGPUServer:
-    """Dispatches requests over independent per-GPU engines."""
+    """Dispatches requests over independent per-GPU engines.
+
+    When a :class:`~repro.runtime.faults.FaultInjector` kills an engine
+    mid-run, :meth:`run` requeues its in-flight requests onto surviving
+    engines (failover); with no survivors the orphans are aborted with
+    ``AbortReason.ENGINE_FAILED``.
+    """
 
     def __init__(self, engines: Sequence[ServingEngine],
                  dispatch: str = "least-loaded"):
@@ -40,6 +46,15 @@ class MultiGPUServer:
         self.engines = list(engines)
         self.dispatch = dispatch
         self._rr_next = 0
+        #: Cluster-level events (failover, no-survivor aborts) that do
+        #: not belong to any single replica's collector.
+        self.cluster_metrics = MetricsCollector()
+        # Give replicas distinct identities so engine-targeted fault
+        # specs (ENGINE_FAIL / ENGINE_SLOW) can name them, unless the
+        # caller already assigned ids.
+        if len({e.engine_id for e in self.engines}) != len(self.engines):
+            for i, engine in enumerate(self.engines):
+                engine.engine_id = f"gpu-{i}"
 
     @property
     def num_gpus(self) -> int:
@@ -82,21 +97,50 @@ class MultiGPUServer:
     # -- execution ------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> MetricsCollector:
-        """Run every engine to completion and merge their metrics."""
-        merged = MetricsCollector()
+        """Run every engine to completion, failing over dead engines.
+
+        Engines run sequentially on independent sim clocks.  After each
+        pass, requests stranded on failed engines are requeued onto
+        survivors (which then resume); the loop is bounded because each
+        engine can fail at most once.
+        """
         for e in self.engines:
-            m = e.run(until=until)
-            merged.records.extend(m.records)
-            for mode, count in m.mode_iterations.items():
-                merged.mode_iterations[mode] = (
-                    merged.mode_iterations.get(mode, 0) + count
-                )
-            merged.num_mode_switches += m.num_mode_switches
-            merged.num_preemptions += m.num_preemptions
-            merged.switch_time_total += m.switch_time_total
-            merged.lora_extra_time_total += m.lora_extra_time_total
-            merged.iterations += m.iterations
+            e.run(until=until)
+        for _ in range(len(self.engines)):
+            stranded = [e for e in self.engines if e.failed and e.num_live]
+            if not stranded:
+                break
+            survivors = [e for e in self.engines if not e.failed]
+            orphans: List[Request] = []
+            for e in stranded:
+                orphans.extend(e.drain_orphans())
+            if not survivors:
+                for r in orphans:
+                    r.abort(r.arrival_time, AbortReason.ENGINE_FAILED)
+                    self.cluster_metrics.record_abort(r)
+                break
+            self.cluster_metrics.failover_events += len(orphans)
+            self._failover_dispatch(orphans, survivors)
+            for e in survivors:
+                e.run(until=until)
+        merged = MetricsCollector()
+        merged.merge_from(self.cluster_metrics)
+        for e in self.engines:
+            merged.merge_from(e.metrics)
         return merged
+
+    def _failover_dispatch(self, orphans: Sequence[Request],
+                           survivors: Sequence[ServingEngine]) -> None:
+        """Least-loaded requeue of orphans onto surviving engines."""
+        loads = [
+            sum(req.remaining for req in e._pending) + len(e._active)
+            for e in survivors
+        ]
+        for r in sorted(orphans, key=lambda q: (q.arrival_time,
+                                                q.request_id)):
+            i = loads.index(min(loads))
+            survivors[i].submit([r])
+            loads[i] += r.remaining
 
     def per_engine_completed(self) -> List[int]:
         """Completed request count per replica (load-balance visibility)."""

@@ -28,14 +28,16 @@ from repro.models.config import ModelConfig
 from repro.models.costs import IterationCostModel
 from repro.runtime.adapters import AdapterManager
 from repro.runtime.clock import SimClock
+from repro.runtime.faults import FaultInjector
 from repro.runtime.kv_cache import PagedKVCache
 from repro.runtime.memory import UnifiedMemoryManager
 from repro.runtime.metrics import MetricsCollector
 from repro.runtime.modes import InferenceMode, ModeExecutor
-from repro.runtime.request import Request, RequestStatus
+from repro.runtime.request import AbortReason, Request, RequestStatus
 from repro.runtime.scheduler import (
     SchedulingContext,
     SchedulingPolicy,
+    pick_shed_victim,
 )
 from repro.runtime.switcher import ModeSwitcher
 
@@ -55,12 +57,34 @@ class EngineConfig:
     #: Megatron-style tensor parallelism across this many GPUs (the
     #: engine then models one TP *group*, not one GPU).
     tensor_parallel: int = 1
+    #: Abort a request once it has been in the system longer than
+    #: ``deadline_slo_factor * slo_s`` (requests without an SLO are only
+    #: bounded by their own ``deadline_s``).  ``None`` disables.
+    deadline_slo_factor: Optional[float] = None
+    #: Consecutive KV-starved iterations tolerated before shedding the
+    #: lowest-credit waiting request (graceful degradation instead of
+    #: the former hard ``RuntimeError``).
+    kv_stall_limit: int = 8
+    #: Capped exponential backoff for failed adapter swap-ins.
+    swap_retry_base_s: float = 0.02
+    swap_retry_cap_s: float = 1.0
+    #: Swap failures tolerated per adapter before it is quarantined and
+    #: its requests aborted (``AbortReason.ADAPTER_UNAVAILABLE``).
+    max_swap_retries: int = 5
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if self.tensor_parallel < 1:
             raise ValueError("tensor_parallel must be >= 1")
+        if self.deadline_slo_factor is not None and self.deadline_slo_factor <= 0:
+            raise ValueError("deadline_slo_factor must be positive")
+        if self.kv_stall_limit < 1:
+            raise ValueError("kv_stall_limit must be >= 1")
+        if self.swap_retry_base_s <= 0 or self.swap_retry_cap_s <= 0:
+            raise ValueError("swap retry backoff times must be positive")
+        if self.max_swap_retries < 1:
+            raise ValueError("max_swap_retries must be >= 1")
 
 
 class ServingEngine:
@@ -76,6 +100,8 @@ class ServingEngine:
         adapter_manager: AdapterManager,
         memory: Optional[UnifiedMemoryManager] = None,
         config: EngineConfig = EngineConfig(),
+        fault_injector: Optional[FaultInjector] = None,
+        engine_id: str = "engine-0",
     ):
         self.model = model
         self.gpu = gpu
@@ -111,6 +137,15 @@ class ServingEngine:
         self._switch_estimate: Optional[float] = None
         #: Optional per-iteration tracer (attach_tracer()).
         self.tracer = None
+        # -- resilience state (fault injection / graceful degradation) -----
+        self.faults = fault_injector
+        self.engine_id = engine_id
+        self.failed = False
+        self.failed_at: Optional[float] = None
+        self._kv_stalls = 0
+        self._swap_failures: Dict[str, int] = {}
+        self._swap_backoff_until: Dict[str, float] = {}
+        self._quarantined: set = set()
 
     # -- submission ---------------------------------------------------------------
 
@@ -136,8 +171,14 @@ class ServingEngine:
 
     def run(self, until: Optional[float] = None,
             max_iterations: int = 2_000_000) -> MetricsCollector:
-        """Run until all submitted work completes (or ``until`` sim-seconds)."""
+        """Run until all submitted work completes (or ``until`` sim-seconds).
+
+        A fault-injected engine failure stops the loop early; the
+        cluster layer can then :meth:`drain_orphans` onto survivors.
+        """
         for _ in range(max_iterations):
+            if self.failed:
+                break
             if until is not None and self.clock.now >= until:
                 break
             if not self._pending and not self._active:
@@ -152,14 +193,29 @@ class ServingEngine:
 
     def step(self) -> None:
         """One engine iteration (or a jump to the next arrival)."""
+        if self.failed:
+            return
+        if (self.faults is not None
+                and self.faults.engine_failed(self.engine_id, self.clock.now)):
+            self._fail()
+            return
         self._admit_arrivals()
+        self._expire_deadlines()
+        self._apply_kv_pressure()
         if not self._active:
             if self._pending:
                 self.clock.advance_to(self._pending[0].arrival_time)
                 self._admit_arrivals()
+                self._expire_deadlines()
             else:
                 return
+        if not self._active:
+            return
 
+        schedulable = self._schedulable()
+        if not schedulable:
+            self._advance_past_backoff()
+            return
         ctx = SchedulingContext(
             now=self.clock.now,
             current_mode=self.current_mode,
@@ -168,13 +224,13 @@ class ServingEngine:
             est_iteration_seconds=self._last_iteration_s,
             est_switch_seconds=self._estimate_switch(),
         )
-        decision = self.policy.schedule(self._active, ctx)
+        decision = self.policy.schedule(schedulable, ctx)
         if decision is None:
             return
 
-        switch_s = self._apply_mode(decision.mode, decision.merged_adapter)
-        batch = self._trim_to_adapter_slots(decision.batch,
-                                            decision.merged_adapter)
+        mode, merged = decision.mode, decision.merged_adapter
+        switch_s = self._apply_mode(mode, merged)
+        batch = self._trim_to_adapter_slots(decision.batch, merged)
         batch = self._admit_to_kv(batch)
         if not batch:
             # KV exhausted: let running requests drain by retrying the
@@ -185,34 +241,50 @@ class ServingEngine:
             )
             batch = [r for r in decision.batch if r.prefilled]
             if not batch:
-                raise RuntimeError(
-                    "KV cache exhausted with nothing admitted; "
-                    "reduce load or enlarge memory"
-                )
+                # Nothing admitted and nothing running: degrade instead
+                # of crashing — flush caches, stall briefly for transient
+                # pressure, then shed the lowest-credit waiting request.
+                self._handle_kv_starvation(decision.batch)
+                return
 
         batch = self._ensure_decode_capacity(batch)
         if not batch:
-            raise RuntimeError(
-                "KV cache cannot hold even one request's decode step; "
-                "enlarge memory or shorten requests"
-            )
+            # Not even one decode step fits: same degradation path.
+            self._handle_kv_starvation(decision.batch)
+            return
+        self._kv_stalls = 0
 
-        stall = self.adapters.ensure_resident(
-            self._batch_adapters(batch, decision), self.clock.now
+        needed = self._batch_adapters(batch, decision)
+        stall, failed_swaps = self.adapters.try_ensure_resident(
+            needed, self.clock.now, injector=self.faults
         )
         if stall:
             self.clock.advance(stall)
+        for adapter_id in needed:
+            if adapter_id not in failed_swaps:
+                self._swap_failures.pop(adapter_id, None)
+                self._swap_backoff_until.pop(adapter_id, None)
+        if failed_swaps:
+            batch, mode, merged = self._handle_swap_failures(
+                batch, failed_swaps, mode, merged
+            )
+            if not batch:
+                return
 
         preempt_before = self.metrics.num_preemptions
         start = self.clock.now
-        iteration_s = self._execute(batch, decision)
+        iteration_s = self._execute(batch, mode, merged)
+        if self.faults is not None:
+            iteration_s *= max(
+                1.0, self.faults.engine_slowdown(self.engine_id, start)
+            )
         self.clock.advance(iteration_s)
         self._last_iteration_s = iteration_s
         self._finalize(batch)
         self.metrics.iterations += 1
-        self.metrics.count_mode(decision.mode.value)
+        self.metrics.count_mode(mode.value)
         if self.tracer is not None:
-            self._trace(decision, batch, start, iteration_s, switch_s,
+            self._trace(mode, merged, batch, start, iteration_s, switch_s,
                         stall, preempt_before)
 
     # -- internals ----------------------------------------------------------------------
@@ -220,7 +292,185 @@ class ServingEngine:
     def _admit_arrivals(self) -> None:
         now = self.clock.now
         while self._pending and self._pending[0].arrival_time <= now:
-            self._active.append(self._pending.pop(0))
+            req = self._pending.pop(0)
+            if req.adapter_id in self._quarantined:
+                req.abort(now, AbortReason.ADAPTER_UNAVAILABLE)
+                self.metrics.record_abort(req)
+                continue
+            self._active.append(req)
+
+    # -- resilience -------------------------------------------------------------------
+
+    def _abort(self, req: Request, reason: AbortReason) -> None:
+        """Abort one active request, releasing any KV it holds."""
+        if self.kv.has_sequence(req.request_id):
+            self.kv.free(req.request_id)
+        self._reused_tokens.pop(req.request_id, None)
+        req.abort(self.clock.now, reason)
+        self._active = [
+            r for r in self._active if r.request_id != req.request_id
+        ]
+        self.metrics.record_abort(req)
+
+    def _effective_deadline(self, req: Request) -> Optional[float]:
+        if req.deadline_s is not None:
+            return req.deadline_s
+        factor = self.config.deadline_slo_factor
+        if factor is not None and req.slo_s is not None:
+            return factor * req.slo_s
+        return None
+
+    def _expire_deadlines(self) -> None:
+        now = self.clock.now
+        for req in list(self._active):
+            deadline = self._effective_deadline(req)
+            if deadline is not None and now - req.arrival_time > deadline:
+                self._abort(req, AbortReason.DEADLINE_EXCEEDED)
+
+    def _apply_kv_pressure(self) -> None:
+        if self.faults is None:
+            return
+        frac = self.faults.kv_reserved_fraction(self.clock.now)
+        self.kv.set_reserved(int(frac * self.kv.num_blocks))
+
+    def _handle_kv_starvation(self, candidates: Sequence[Request]) -> None:
+        """Degrade gracefully when no batch fits in the KV cache.
+
+        First flush every cached prefix (emergency eviction), then stall
+        up to ``kv_stall_limit`` iterations so transient pressure (fault
+        windows, draining requests) can pass; only then shed the
+        lowest-credit waiting request.  Each path either advances the
+        clock or removes a request, so the engine always makes progress.
+        """
+        self.kv.evict_stale_prefixes(float("inf"))
+        self._kv_stalls += 1
+        self.metrics.kv_stall_iters += 1
+        if self._kv_stalls <= self.config.kv_stall_limit:
+            self.clock.advance(max(self._last_iteration_s, 1e-3))
+            return
+        self._kv_stalls = 0
+        pool = [r for r in self._active if not r.prefilled] or list(self._active)
+        victim = pick_shed_victim(pool, self.clock.now)
+        if victim is not None:
+            self._abort(victim, AbortReason.KV_EXHAUSTED)
+            self.metrics.shed_events += 1
+
+    def _handle_swap_failures(self, batch, failed, mode, merged):
+        """Backoff/quarantine failed adapters; degrade the batch.
+
+        Requests whose adapter failed to become resident leave the batch
+        (their fresh KV allocations are rolled back) and retry after a
+        capped exponential backoff; an adapter that keeps failing is
+        quarantined and its requests aborted.  When the *merged* target
+        itself failed, the surviving batch falls back to UNMERGED mode.
+        """
+        now = self.clock.now
+        for adapter_id in failed:
+            count = self._swap_failures.get(adapter_id, 0) + 1
+            self._swap_failures[adapter_id] = count
+            self.metrics.swap_retries += 1
+            if count > self.config.max_swap_retries:
+                self._quarantine(adapter_id)
+            else:
+                backoff = min(
+                    self.config.swap_retry_base_s * 2 ** (count - 1),
+                    self.config.swap_retry_cap_s,
+                )
+                self._swap_backoff_until[adapter_id] = now + backoff
+        failed_set = set(failed)
+        kept = []
+        for r in batch:
+            if (r.adapter_id in failed_set
+                    and not self.adapters.is_resident(r.adapter_id)):
+                if not r.prefilled and self.kv.has_sequence(r.request_id):
+                    self.kv.free(r.request_id)
+                    self._reused_tokens.pop(r.request_id, None)
+                continue
+            kept.append(r)
+        kept = [r for r in kept if not r.is_aborted]
+        if merged in failed_set and not self.adapters.is_resident(merged):
+            # The merge target never landed: run what remains unmerged.
+            mode = InferenceMode.UNMERGED
+            merged = None
+            self.current_mode = InferenceMode.UNMERGED
+            self.current_merged = None
+            if kept:
+                self.metrics.mode_fallbacks += 1
+        return kept, mode, merged
+
+    def _quarantine(self, adapter_id: str) -> None:
+        if adapter_id in self._quarantined:
+            return
+        self._quarantined.add(adapter_id)
+        self._swap_backoff_until.pop(adapter_id, None)
+        self.metrics.adapters_quarantined += 1
+        for r in [r for r in self._active if r.adapter_id == adapter_id]:
+            self._abort(r, AbortReason.ADAPTER_UNAVAILABLE)
+        still_pending = []
+        for r in self._pending:
+            if r.adapter_id == adapter_id:
+                r.abort(self.clock.now, AbortReason.ADAPTER_UNAVAILABLE)
+                self.metrics.record_abort(r)
+            else:
+                still_pending.append(r)
+        self._pending = still_pending
+
+    def _schedulable(self) -> List[Request]:
+        """Active requests whose adapter is usable right now.
+
+        A request sits out while its adapter is in swap backoff *and*
+        not resident (resident adapters never need the failing swap).
+        """
+        now = self.clock.now
+        if not self._swap_backoff_until:
+            return self._active
+        out = []
+        for r in self._active:
+            until = self._swap_backoff_until.get(r.adapter_id, 0.0)
+            if until > now and not self.adapters.is_resident(r.adapter_id):
+                continue
+            out.append(r)
+        return out
+
+    def _advance_past_backoff(self) -> None:
+        """Nothing schedulable: jump to the next backoff expiry/arrival."""
+        horizons = [
+            t for t in self._swap_backoff_until.values()
+            if t > self.clock.now
+        ]
+        if self._pending:
+            horizons.append(self._pending[0].arrival_time)
+        if horizons:
+            self.clock.advance_to(min(horizons))
+        else:
+            self.clock.advance(max(self._last_iteration_s, 1e-3))
+
+    def _fail(self) -> None:
+        """The injected GPU failure: stop serving, keep state for drain."""
+        self.failed = True
+        self.failed_at = self.clock.now
+        self.metrics.engine_failures += 1
+
+    def drain_orphans(self) -> List[Request]:
+        """Hand over a failed engine's in-flight requests for requeue.
+
+        KV state died with the GPU, so every request rewinds to WAITING
+        and will re-prefill on whichever engine adopts it.
+        """
+        now = self.clock.now
+        orphans: List[Request] = []
+        for r in self._active:
+            if self.kv.has_sequence(r.request_id):
+                self.kv.free(r.request_id)
+            self._reused_tokens.pop(r.request_id, None)
+            r.reset_for_requeue(now)
+            orphans.append(r)
+        for r in self._pending:
+            r.reset_for_requeue(now)
+            orphans.append(r)
+        self._active = []
+        self._pending = []
+        return orphans
 
     def _estimate_switch(self) -> float:
         if self._switch_estimate is None:
@@ -249,7 +499,7 @@ class ServingEngine:
         self.current_merged = merged
         return cost
 
-    def _trace(self, decision, batch, start, iteration_s, switch_s,
+    def _trace(self, mode, merged, batch, start, iteration_s, switch_s,
                swap_stall, preempt_before) -> None:
         from repro.runtime.tracing import IterationEvent
 
@@ -264,8 +514,8 @@ class ServingEngine:
             index=self.metrics.iterations - 1,
             start=start,
             duration=iteration_s,
-            mode=decision.mode.value,
-            merged_adapter=decision.merged_adapter,
+            mode=mode.value,
+            merged_adapter=merged,
             batch_size=len(batch),
             prefill_tokens=prefill_tokens,
             decode_tokens=decode_tokens,
@@ -336,6 +586,12 @@ class ServingEngine:
                 self._reused_tokens.pop(bounced.request_id, None)
                 batch = [r for r in batch if r.request_id != bounced.request_id]
                 continue
+            # Give up: roll back any fresh prefill allocations so the
+            # requests can be re-admitted (or shed) cleanly later.
+            for r in fresh:
+                if self.kv.has_sequence(r.request_id):
+                    self.kv.free(r.request_id)
+                    self._reused_tokens.pop(r.request_id, None)
             return batch[:0]
 
     def _pick_preemption_victim(self, batch: Sequence[Request]):
@@ -384,7 +640,8 @@ class ServingEngine:
             ids.append(decision.merged_adapter)
         return list(dict.fromkeys(ids))
 
-    def _execute(self, batch: Sequence[Request], decision) -> float:
+    def _execute(self, batch: Sequence[Request], mode: InferenceMode,
+                 merged: Optional[str]) -> float:
         """Cost one iteration over ``batch`` and return its latency."""
         prefills = [r for r in batch if not r.prefilled]
         decodes = [r for r in batch if r.prefilled]
@@ -428,14 +685,11 @@ class ServingEngine:
             ranks = {
                 a: self.adapters.spec(a).rank for a in adapter_tokens
             }
-            if decision.merged_adapter is not None:
-                ranks.setdefault(
-                    decision.merged_adapter,
-                    self.adapters.spec(decision.merged_adapter).rank,
-                )
+            if merged is not None:
+                ranks.setdefault(merged, self.adapters.spec(merged).rank)
             extra = self.mode_exec.extra_seconds(
-                decision.mode, adapter_tokens, ranks,
-                merged_adapter=decision.merged_adapter,
+                mode, adapter_tokens, ranks,
+                merged_adapter=merged,
                 rng=self._rng,
             )
             t += extra

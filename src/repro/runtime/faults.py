@@ -1,0 +1,241 @@
+"""Deterministic fault injection for the serving runtime.
+
+Production LoRA-serving stacks hit failure modes that the happy-path
+simulator never exercises: adapter swaps that fail or crawl (host-side
+page faults, PCIe contention), transient KV-memory pressure (co-located
+tenants, fragmentation), and straggling or outright dead GPUs.  This
+module schedules such faults against the *simulated* clock so that the
+engine's degradation behavior is reproducible and testable.
+
+Design points:
+
+* **Deterministic** — every fault window is materialized up front from a
+  seeded RNG (:meth:`FaultInjector.random`); query methods are pure
+  functions of ``(kind, target, now)``, so two runs with the same seed
+  and workload see byte-identical fault timelines regardless of how
+  often the engine polls.
+* **Window-based** — a :class:`FaultSpec` is a ``[start, start+duration)``
+  interval with a magnitude (slowdown factor, reserved-KV fraction) and
+  an optional target (adapter id or engine id; ``None`` hits everyone).
+* **Engine failures are permanent** — an ``ENGINE_FAIL`` spec marks its
+  target dead from ``start`` onward; the cluster layer requeues the
+  dead engine's in-flight requests onto survivors.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the runtime knows how to inject."""
+
+    ADAPTER_SWAP_FAIL = "adapter_swap_fail"   # swap-in attempt fails
+    ADAPTER_SWAP_SLOW = "adapter_swap_slow"   # swap-in takes magnitude× longer
+    KV_PRESSURE = "kv_pressure"               # magnitude fraction of blocks unusable
+    ENGINE_FAIL = "engine_fail"               # engine dies at `start` (permanent)
+    ENGINE_SLOW = "engine_slow"               # straggler: iterations magnitude× slower
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault window.
+
+    ``magnitude`` means: slowdown factor for ``*_SLOW`` kinds (>= 1),
+    fraction of KV blocks made unusable for ``KV_PRESSURE`` (in [0, 1)),
+    and is ignored for ``ADAPTER_SWAP_FAIL`` / ``ENGINE_FAIL``.
+    """
+
+    kind: FaultKind
+    start: float
+    duration: float = math.inf
+    magnitude: float = 1.0
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.kind is FaultKind.KV_PRESSURE and not 0.0 <= self.magnitude < 1.0:
+            raise ValueError(
+                f"KV_PRESSURE magnitude must be in [0, 1), got {self.magnitude}"
+            )
+        if (self.kind in (FaultKind.ADAPTER_SWAP_SLOW, FaultKind.ENGINE_SLOW)
+                and self.magnitude < 1.0):
+            raise ValueError(
+                f"{self.kind.value} magnitude must be >= 1, got {self.magnitude}"
+            )
+
+    def active_at(self, now: float) -> bool:
+        if self.kind is FaultKind.ENGINE_FAIL:
+            return now >= self.start  # permanent
+        return self.start <= now < self.start + self.duration
+
+    def matches(self, target: Optional[str]) -> bool:
+        return self.target is None or self.target == target
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind.value,
+            "start": self.start,
+            "duration": self.duration,
+            "magnitude": self.magnitude,
+            "target": self.target,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultSpec":
+        return cls(
+            kind=FaultKind(payload["kind"]),
+            start=float(payload["start"]),
+            duration=float(payload.get("duration", math.inf)),
+            magnitude=float(payload.get("magnitude", 1.0)),
+            target=payload.get("target"),
+        )
+
+
+class FaultInjector:
+    """Answers "is fault X active for target Y at sim-time T?".
+
+    Hooked by :class:`~repro.runtime.engine.ServingEngine` (swap
+    outcomes, KV pressure, straggler slowdown, engine death) and by
+    :class:`~repro.runtime.cluster.MultiGPUServer` (failover).
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()):
+        self.specs: List[FaultSpec] = sorted(
+            specs, key=lambda s: (s.start, s.kind.value, s.target or "")
+        )
+
+    # -- queries (pure) ------------------------------------------------------
+
+    def _active(self, kind: FaultKind, now: float,
+                target: Optional[str]) -> List[FaultSpec]:
+        return [
+            s for s in self.specs
+            if s.kind is kind and s.active_at(now) and s.matches(target)
+        ]
+
+    def swap_should_fail(self, adapter_id: str, now: float) -> bool:
+        """True when a swap-in of ``adapter_id`` started now would fail."""
+        return bool(self._active(FaultKind.ADAPTER_SWAP_FAIL, now, adapter_id))
+
+    def swap_slowdown(self, adapter_id: str, now: float) -> float:
+        """Multiplicative swap-time factor (>= 1) for ``adapter_id``."""
+        factor = 1.0
+        for s in self._active(FaultKind.ADAPTER_SWAP_SLOW, now, adapter_id):
+            factor *= s.magnitude
+        return factor
+
+    def kv_reserved_fraction(self, now: float) -> float:
+        """Fraction of KV blocks currently unusable (worst active window)."""
+        windows = self._active(FaultKind.KV_PRESSURE, now, None)
+        if not windows:
+            return 0.0
+        return min(max(s.magnitude for s in windows), 0.999)
+
+    def engine_failed(self, engine_id: str, now: float) -> bool:
+        return bool(self._active(FaultKind.ENGINE_FAIL, now, engine_id))
+
+    def engine_slowdown(self, engine_id: str, now: float) -> float:
+        factor = 1.0
+        for s in self._active(FaultKind.ENGINE_SLOW, now, engine_id):
+            factor *= s.magnitude
+        return factor
+
+    # -- introspection -------------------------------------------------------
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.specs:
+            out[s.kind.value] = out.get(s.kind.value, 0) + 1
+        return out
+
+    def to_dicts(self) -> List[Dict]:
+        return [s.to_dict() for s in self.specs]
+
+    @classmethod
+    def from_dicts(cls, payloads: Iterable[Dict]) -> "FaultInjector":
+        return cls(FaultSpec.from_dict(p) for p in payloads)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self.counts_by_kind()})"
+
+    # -- schedule generation -------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        horizon_s: float,
+        seed: int = 0,
+        adapter_ids: Sequence[str] = (),
+        engine_ids: Sequence[str] = ("engine-0",),
+        swap_fail_rate: float = 0.0,
+        swap_slow_rate: float = 0.0,
+        kv_pressure_rate: float = 0.0,
+        engine_slow_rate: float = 0.0,
+        engine_fail_rate: float = 0.0,
+        swap_window_s: float = 0.25,
+        kv_window_s: float = 1.0,
+        straggler_window_s: float = 2.0,
+    ) -> "FaultInjector":
+        """Poisson-schedule fault windows over ``[0, horizon_s)``.
+
+        All ``*_rate`` parameters are events per simulated second.  At
+        most one ``ENGINE_FAIL`` is drawn per engine (a GPU dies once);
+        ``engine_fail_rate`` sets the per-engine probability via
+        ``min(1, rate * horizon)``.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        rng = np.random.default_rng(seed)
+        specs: List[FaultSpec] = []
+
+        def windows(rate: float, mean_dur: float):
+            count = rng.poisson(rate * horizon_s) if rate > 0 else 0
+            for _ in range(count):
+                start = float(rng.uniform(0.0, horizon_s))
+                dur = float(max(rng.exponential(mean_dur), 1e-3))
+                yield start, dur
+
+        def pick(pool: Sequence[str]) -> Optional[str]:
+            if not pool:
+                return None
+            return str(pool[int(rng.integers(len(pool)))])
+
+        for start, dur in windows(swap_fail_rate, swap_window_s):
+            specs.append(FaultSpec(FaultKind.ADAPTER_SWAP_FAIL, start, dur,
+                                   target=pick(adapter_ids)))
+        for start, dur in windows(swap_slow_rate, swap_window_s):
+            specs.append(FaultSpec(
+                FaultKind.ADAPTER_SWAP_SLOW, start, dur,
+                magnitude=float(rng.uniform(2.0, 8.0)),
+                target=pick(adapter_ids),
+            ))
+        for start, dur in windows(kv_pressure_rate, kv_window_s):
+            specs.append(FaultSpec(
+                FaultKind.KV_PRESSURE, start, dur,
+                magnitude=float(rng.uniform(0.3, 0.9)),
+            ))
+        for engine_id in engine_ids:
+            for start, dur in windows(engine_slow_rate, straggler_window_s):
+                specs.append(FaultSpec(
+                    FaultKind.ENGINE_SLOW, start, dur,
+                    magnitude=float(rng.uniform(1.5, 4.0)),
+                    target=engine_id,
+                ))
+            if engine_fail_rate > 0:
+                p = min(engine_fail_rate * horizon_s, 1.0)
+                if rng.uniform() < p:
+                    specs.append(FaultSpec(
+                        FaultKind.ENGINE_FAIL,
+                        float(rng.uniform(0.0, horizon_s)),
+                        target=engine_id,
+                    ))
+        return cls(specs)

@@ -60,12 +60,25 @@ class PagedKVCache:
         self._free: List[int] = list(range(num_blocks - 1, -1, -1))
         self._sequences: Dict[int, _Sequence] = {}
         self._prefixes: Dict[str, _PrefixEntry] = {}
+        #: Blocks made temporarily unusable (injected memory pressure).
+        self.reserved_blocks: int = 0
 
     # -- capacity ----------------------------------------------------------------
 
     @property
     def free_blocks(self) -> int:
-        return len(self._free)
+        return max(0, len(self._free) - self.reserved_blocks)
+
+    def set_reserved(self, num_blocks: int) -> None:
+        """Reserve ``num_blocks`` blocks away from the allocatable pool.
+
+        Models transient memory pressure (fault injection): reserved
+        blocks cannot be allocated but already-allocated sequences are
+        untouched.  Pass 0 to lift the pressure.
+        """
+        if num_blocks < 0:
+            raise ValueError(f"reserved blocks must be >= 0, got {num_blocks}")
+        self.reserved_blocks = min(num_blocks, self.num_blocks)
 
     @property
     def used_blocks(self) -> int:
@@ -83,9 +96,10 @@ class PagedKVCache:
     # -- allocation ------------------------------------------------------------------
 
     def _take_blocks(self, count: int) -> List[int]:
-        if count > len(self._free):
+        if count > self.free_blocks:
             raise BlockAllocationError(
-                f"need {count} blocks, only {len(self._free)} free"
+                f"need {count} blocks, only {self.free_blocks} free "
+                f"({self.reserved_blocks} reserved)"
             )
         taken = [self._free.pop() for _ in range(count)]
         for b in taken:
@@ -200,6 +214,9 @@ class PagedKVCache:
 
     def sequence_tokens(self, seq_id: int) -> int:
         return self._seq(seq_id).num_tokens
+
+    def has_sequence(self, seq_id: int) -> bool:
+        return seq_id in self._sequences
 
     def _seq(self, seq_id: int) -> _Sequence:
         seq = self._sequences.get(seq_id)

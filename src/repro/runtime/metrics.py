@@ -18,6 +18,39 @@ from repro.runtime.request import Request
 
 
 @dataclass(frozen=True)
+class AbortRecord:
+    """Immutable record of one aborted request (graceful degradation)."""
+
+    request_id: int
+    adapter_id: str
+    task_name: str
+    arrival_time: float
+    abort_time: float
+    reason: str
+    input_tokens: int
+    output_tokens: int
+    generated: int
+    slo_s: Optional[float] = None
+
+    @classmethod
+    def from_request(cls, req: Request) -> "AbortRecord":
+        if req.abort_time is None or req.abort_reason is None:
+            raise ValueError(f"request {req.request_id} not aborted")
+        return cls(
+            request_id=req.request_id,
+            adapter_id=req.adapter_id,
+            task_name=req.task_name,
+            arrival_time=req.arrival_time,
+            abort_time=req.abort_time,
+            reason=req.abort_reason.value,
+            input_tokens=req.input_tokens,
+            output_tokens=req.output_tokens,
+            generated=req.generated,
+            slo_s=req.slo_s,
+        )
+
+
+@dataclass(frozen=True)
 class RequestRecord:
     """Immutable completion record for one request."""
 
@@ -72,9 +105,21 @@ class MetricsCollector:
     switch_time_total: float = 0.0
     lora_extra_time_total: float = 0.0
     iterations: int = 0
+    # -- resilience accounting (fault injection / graceful degradation) ----
+    aborts: List[AbortRecord] = field(default_factory=list)
+    swap_retries: int = 0
+    adapters_quarantined: int = 0
+    mode_fallbacks: int = 0
+    shed_events: int = 0
+    kv_stall_iters: int = 0
+    failover_events: int = 0
+    engine_failures: int = 0
 
     def complete(self, req: Request) -> None:
         self.records.append(RequestRecord.from_request(req))
+
+    def record_abort(self, req: Request) -> None:
+        self.aborts.append(AbortRecord.from_request(req))
 
     def count_mode(self, mode_name: str) -> None:
         self.mode_iterations[mode_name] = (
@@ -86,6 +131,38 @@ class MetricsCollector:
     @property
     def num_completed(self) -> int:
         return len(self.records)
+
+    @property
+    def num_aborted(self) -> int:
+        return len(self.aborts)
+
+    def abort_counts(self) -> Dict[str, int]:
+        """Abort counts keyed by :class:`AbortReason` value."""
+        out: Dict[str, int] = {}
+        for a in self.aborts:
+            out[a.reason] = out.get(a.reason, 0) + 1
+        return out
+
+    def goodput_rps(self, duration: Optional[float] = None) -> float:
+        """Completed requests per second, charging aborted requests.
+
+        Unlike :meth:`throughput_rps` the window spans every arrival
+        (including aborted ones) to the last terminal event, so shedding
+        load does not inflate the number.  0.0 when nothing completed.
+        """
+        if not self.records:
+            return 0.0
+        if duration is None:
+            events = self.records + self.aborts
+            start = min(r.arrival_time for r in events)
+            end = max(
+                [r.finish_time for r in self.records]
+                + [a.abort_time for a in self.aborts]
+            )
+            duration = max(end - start, 1e-9)
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return len(self.records) / duration
 
     def avg_token_latency(self) -> float:
         """Sum of request latencies over total tokens (seconds/token)."""
@@ -127,13 +204,17 @@ class MetricsCollector:
     def slo_attainment(self) -> Optional[float]:
         """Fraction of SLO-carrying requests that met their SLO.
 
-        ``None`` when no completed request carried an SLO.
+        Aborted SLO-carrying requests count as misses (they never
+        produced an answer).  ``None`` when no terminal request carried
+        an SLO.
         """
         with_slo = [r for r in self.records if r.slo_s is not None]
-        if not with_slo:
+        aborted_slo = sum(1 for a in self.aborts if a.slo_s is not None)
+        total = len(with_slo) + aborted_slo
+        if not total:
             return None
         met = sum(1 for r in with_slo if r.latency <= r.slo_s)
-        return met / len(with_slo)
+        return met / total
 
     # -- breakdowns ----------------------------------------------------------------
 
@@ -149,23 +230,60 @@ class MetricsCollector:
             out.setdefault(r.adapter_id, []).append(r)
         return out
 
+    def merge_from(self, other: "MetricsCollector") -> None:
+        """Fold another collector (e.g. one replica's) into this one."""
+        self.records.extend(other.records)
+        self.aborts.extend(other.aborts)
+        for mode, count in other.mode_iterations.items():
+            self.mode_iterations[mode] = (
+                self.mode_iterations.get(mode, 0) + count
+            )
+        self.num_mode_switches += other.num_mode_switches
+        self.num_preemptions += other.num_preemptions
+        self.switch_time_total += other.switch_time_total
+        self.lora_extra_time_total += other.lora_extra_time_total
+        self.iterations += other.iterations
+        self.swap_retries += other.swap_retries
+        self.adapters_quarantined += other.adapters_quarantined
+        self.mode_fallbacks += other.mode_fallbacks
+        self.shed_events += other.shed_events
+        self.kv_stall_iters += other.kv_stall_iters
+        self.failover_events += other.failover_events
+        self.engine_failures += other.engine_failures
+
     def summary(self) -> Dict[str, float]:
-        """A flat dict of the headline numbers (for bench JSON dumps)."""
-        return {
+        """A flat dict of the headline numbers (for bench JSON dumps).
+
+        Latency keys appear only when at least one request completed
+        (an all-aborted run still summarizes without raising).
+        """
+        out: Dict[str, float] = {
             "completed": float(self.num_completed),
-            "avg_token_latency_ms": self.avg_token_latency() * 1e3,
-            "throughput_rps": self.throughput_rps(),
-            "mean_latency_s": self.mean_latency(),
-            "p50_latency_s": self.latency_percentile(50),
-            "p90_latency_s": self.latency_percentile(90),
-            "p99_latency_s": self.latency_percentile(99),
-            "mean_ttft_s": self.mean_ttft(),
+            "aborted": float(self.num_aborted),
+            "goodput_rps": self.goodput_rps(),
             "mode_switches": float(self.num_mode_switches),
             "preemptions": float(self.num_preemptions),
             "switch_time_total_s": self.switch_time_total,
             "iterations": float(self.iterations),
-            **(
-                {"slo_attainment": self.slo_attainment()}
-                if self.slo_attainment() is not None else {}
-            ),
         }
+        if self.records:
+            out.update({
+                "avg_token_latency_ms": self.avg_token_latency() * 1e3,
+                "throughput_rps": self.throughput_rps(),
+                "mean_latency_s": self.mean_latency(),
+                "p50_latency_s": self.latency_percentile(50),
+                "p90_latency_s": self.latency_percentile(90),
+                "p99_latency_s": self.latency_percentile(99),
+                "mean_ttft_s": self.mean_ttft(),
+            })
+        for reason, count in sorted(self.abort_counts().items()):
+            out[f"aborted_{reason}"] = float(count)
+        for key in ("swap_retries", "adapters_quarantined", "mode_fallbacks",
+                    "shed_events", "kv_stall_iters", "failover_events",
+                    "engine_failures"):
+            value = getattr(self, key)
+            if value:
+                out[key] = float(value)
+        if self.slo_attainment() is not None:
+            out["slo_attainment"] = self.slo_attainment()
+        return out

@@ -17,7 +17,27 @@ class RequestStatus(enum.Enum):
     ABORTED = "aborted"
 
 
+class AbortReason(enum.Enum):
+    """Why the runtime gave up on a request (graceful degradation)."""
+
+    KV_EXHAUSTED = "kv_exhausted"             # shed under memory pressure
+    DEADLINE_EXCEEDED = "deadline_exceeded"   # missed its latency deadline
+    ADAPTER_UNAVAILABLE = "adapter_unavailable"  # swap retries exhausted
+    ENGINE_FAILED = "engine_failed"           # GPU died, no survivor took it
+
+
 _id_counter = itertools.count()
+
+
+def reset_request_ids(start: int = 0) -> None:
+    """Reset the global request-id counter (test isolation).
+
+    Request ids otherwise depend on how many requests earlier tests or
+    runs created in the same process; tests reset via an autouse
+    fixture so ids are reproducible per test.
+    """
+    global _id_counter
+    _id_counter = itertools.count(start)
 
 
 @dataclass
@@ -58,6 +78,9 @@ class Request:
     #: minimize average latency while meeting each application's
     #: constraint); accounted by the metrics layer.
     slo_s: Optional[float] = None
+    #: Optional hard deadline in seconds from arrival: the engine aborts
+    #: the request (``AbortReason.DEADLINE_EXCEEDED``) once exceeded.
+    deadline_s: Optional[float] = None
     request_id: int = field(default_factory=lambda: next(_id_counter))
 
     # -- progress (mutated by the engine) -----------------------------------
@@ -66,6 +89,8 @@ class Request:
     generated: int = 0
     first_token_time: Optional[float] = None
     finish_time: Optional[float] = None
+    abort_time: Optional[float] = None
+    abort_reason: Optional[AbortReason] = None
     credit: float = 0.0
 
     def __post_init__(self) -> None:
@@ -84,6 +109,10 @@ class Request:
             raise ValueError("task-head requests decode in exactly 1 round")
         if self.slo_s is not None and self.slo_s <= 0:
             raise ValueError(f"slo_s must be positive, got {self.slo_s}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
 
     # -- derived -------------------------------------------------------------
 
@@ -105,17 +134,68 @@ class Request:
     def is_finished(self) -> bool:
         return self.generated >= self.output_tokens
 
+    @property
+    def is_aborted(self) -> bool:
+        return self.status is RequestStatus.ABORTED
+
+    @property
+    def is_terminal(self) -> bool:
+        """Finished or aborted — no further engine work will happen."""
+        return self.status in (RequestStatus.FINISHED, RequestStatus.ABORTED)
+
     def latency(self) -> float:
-        """End-to-end latency; only valid once finished."""
-        if self.finish_time is None:
-            raise RuntimeError(f"request {self.request_id} not finished")
-        return self.finish_time - self.arrival_time
+        """End-to-end latency once terminal (finish or abort time)."""
+        end = self.finish_time if self.finish_time is not None else self.abort_time
+        if end is None:
+            raise RuntimeError(
+                f"request {self.request_id} still in flight (no latency yet)"
+            )
+        return end - self.arrival_time
 
     def waiting_time(self, now: float) -> float:
         return max(0.0, now - self.arrival_time)
 
     def met_slo(self) -> Optional[bool]:
-        """Whether the finished request met its SLO (None if no SLO)."""
+        """Whether the request met its SLO.
+
+        ``None`` when no SLO is attached or the request is still in
+        flight; aborted requests count as SLO misses (``False``) rather
+        than crashing the metrics pass.
+        """
         if self.slo_s is None:
             return None
+        if self.is_aborted:
+            return False
+        if self.finish_time is None:
+            return None
         return self.latency() <= self.slo_s
+
+    # -- fault handling ------------------------------------------------------
+
+    def abort(self, now: float, reason: AbortReason) -> None:
+        """Mark the request aborted at sim-time ``now``."""
+        if self.status is RequestStatus.FINISHED:
+            raise RuntimeError(
+                f"cannot abort finished request {self.request_id}"
+            )
+        self.status = RequestStatus.ABORTED
+        self.abort_time = now
+        self.abort_reason = reason
+
+    def reset_for_requeue(self, now: float) -> None:
+        """Rewind progress so a surviving engine can restart the request.
+
+        Used by cluster failover: the dead engine's KV state is gone, so
+        the request re-prefills from scratch.  Arrival is bumped to the
+        failure time (latency for failed-over requests is measured from
+        requeue).
+        """
+        self.status = RequestStatus.WAITING
+        self.prefilled = False
+        self.generated = 0
+        self.first_token_time = None
+        self.finish_time = None
+        self.abort_time = None
+        self.abort_reason = None
+        self.credit = 0.0
+        self.arrival_time = max(self.arrival_time, now)

@@ -58,6 +58,21 @@ class SchedulerDecision:
                 )
 
 
+def pick_shed_victim(pool: Sequence[Request],
+                     now: float) -> Optional[Request]:
+    """The cheapest request to abort under overload: lowest credit.
+
+    Credit is the anti-starvation currency (§4.4.3): a low credit means
+    the request has waited least and loses least progress.  Policies
+    that do not maintain credits leave it at 0, so ties break toward the
+    youngest arrival (shed the newest work first, like S-LoRA's
+    early-abort admission control).
+    """
+    if not pool:
+        return None
+    return min(pool, key=lambda r: (r.credit, -r.arrival_time, -r.request_id))
+
+
 class SchedulingPolicy(abc.ABC):
     """Picks the next batch, mode, and merged adapter."""
 

@@ -50,6 +50,9 @@ class RetrievalWorkload:
     #: what makes merged-mode windows possible (§6.2's "merge-friendly
     #: workload pattern").
     adapter_burst: int = 1
+    #: Optional per-request latency SLO (seconds) attached to every
+    #: request; feeds SLO-attainment and deadline-abort accounting.
+    slo_s: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -128,4 +131,5 @@ class RetrievalWorkload:
             use_task_head=use_head,
             prefix_key=prefix_key,
             prefix_tokens=min(prefix_tokens, profile.input_tokens),
+            slo_s=self.slo_s,
         )

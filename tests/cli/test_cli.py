@@ -57,6 +57,52 @@ class TestServe:
         with pytest.raises(SystemExit):
             main(["serve", "--system", "vllm"])
 
+    def test_missing_trace_file_is_an_error_not_a_traceback(self, capsys):
+        rc = main(["serve", "--trace-in", "/nonexistent/trace.jsonl"])
+        assert rc == 2
+        assert "trace file not found" in capsys.readouterr().err
+
+    def test_malformed_trace_is_an_error_not_a_traceback(self, tmp_path,
+                                                         capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"adapter_id": "lora-0"}\n')  # missing fields
+        rc = main(["serve", "--trace-in", str(trace)])
+        assert rc == 2
+        assert "malformed trace" in capsys.readouterr().err
+
+    def test_negative_fault_rate_rejected(self, capsys):
+        rc = main(["serve", "--rate", "2", "--duration", "4",
+                   "--swap-fail-rate", "-1"])
+        assert rc == 2
+        assert "fault rates" in capsys.readouterr().err
+
+    def test_bad_deadline_factor_rejected(self, capsys):
+        rc = main(["serve", "--deadline-factor", "0"])
+        assert rc == 2
+        assert "deadline-factor" in capsys.readouterr().err
+
+
+class TestServeWithFaults:
+    def test_serve_under_faults_reports_degradation(self, capsys):
+        rc = main(["serve", "--rate", "4", "--duration", "5",
+                   "--adapters", "4", "--json",
+                   "--swap-fail-rate", "0.5",
+                   "--kv-pressure-rate", "0.3",
+                   "--engine-slow-rate", "0.2",
+                   "--fault-seed", "3"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] + payload["aborted"] > 0
+        assert "goodput_rps" in payload
+
+    def test_fault_runs_are_seed_reproducible(self, capsys):
+        argv = ["serve", "--rate", "3", "--duration", "4", "--adapters", "3",
+                "--json", "--swap-fail-rate", "1.0", "--fault-seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestFuse:
     def test_fusion_plan(self, capsys):
@@ -80,6 +126,19 @@ class TestCompare:
         assert "V-LoRA reduction" in out
         assert "dlora" in out
 
+    @pytest.mark.parametrize("rates", ["3,oops", "", "4;8", "2,-4", "0"])
+    def test_malformed_rates_rejected(self, rates, capsys):
+        rc = main(["compare", "--rates", rates, "--duration", "4"])
+        assert rc == 2
+        assert "malformed --rates" in capsys.readouterr().err
+
+    def test_unknown_systems_rejected(self, capsys):
+        rc = main(["compare", "--rates", "4", "--systems", "v-lora,vllm"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "vllm" in err
+        assert "v-lora" in err  # lists the valid names
+
 
 class TestTilingSearchCommand:
     def test_summary_printed(self, capsys):
@@ -102,3 +161,8 @@ class TestTraceCommands:
                            .split("\n", 1)[-1])
         assert stats["requests"] > 0
         assert "top_adapter_share" in stats
+
+    def test_stats_on_missing_file_is_an_error(self, capsys):
+        rc = main(["trace", "stats", "--path", "/nonexistent/wl.jsonl"])
+        assert rc == 2
+        assert "trace file not found" in capsys.readouterr().err

@@ -16,6 +16,20 @@ from repro.hardware import A100_80GB
 from repro.kernels import ATMMOperator, GemmCostModel
 
 
+@pytest.fixture(autouse=True)
+def _fresh_request_ids():
+    """Reset the global request-id counter before every test.
+
+    Without this, request ids depend on how many requests earlier tests
+    created (import-order history), which makes id-sensitive assertions
+    and cross-test reproducibility flaky.
+    """
+    from repro.runtime.request import reset_request_ids
+
+    reset_request_ids()
+    yield
+
+
 @pytest.fixture(scope="session")
 def gpu():
     return A100_80GB

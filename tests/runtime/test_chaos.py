@@ -1,0 +1,168 @@
+"""Chaos testing: randomized seeded fault schedules, hard invariants.
+
+The engine must never raise under injected faults; it may only degrade.
+After every run we check conservation (every submitted request reached a
+terminal state), KV hygiene (no leaked blocks), and metrics consistency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SystemBuilder
+from repro.runtime import (
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    MultiGPUServer,
+    RequestStatus,
+)
+from repro.workloads import RetrievalWorkload
+
+FAULT_RATES = dict(
+    swap_fail_rate=0.8,
+    swap_slow_rate=0.5,
+    kv_pressure_rate=0.4,
+    engine_slow_rate=0.3,
+)
+
+
+def make_workload(adapter_ids, seed, rate_rps=20.0, duration_s=4.0):
+    return RetrievalWorkload(
+        adapter_ids=adapter_ids,
+        rate_rps=rate_rps,
+        duration_s=duration_s,
+        use_task_heads=False,
+        slo_s=2.0,
+        seed=seed,
+    ).generate()
+
+
+def check_engine_invariants(engine, requests, metrics):
+    # Conservation: every submitted request is terminal, none lost.
+    finished = sum(r.status is RequestStatus.FINISHED for r in requests)
+    aborted = sum(r.status is RequestStatus.ABORTED for r in requests)
+    assert finished + aborted == len(requests)
+    assert metrics.num_completed == finished
+    assert metrics.num_aborted == aborted
+    assert sum(metrics.abort_counts().values()) == aborted
+    # Nothing left in flight.
+    assert engine.num_live == 0
+    # KV hygiene: once cached prefixes are flushed and injected pressure
+    # lifted, every block must be back on the free list.
+    engine.kv.set_reserved(0)
+    engine.kv.evict_stale_prefixes(float("inf"))
+    assert engine.kv.free_blocks == engine.kv.num_blocks
+    engine.kv.check_invariants()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_single_engine_chaos_never_raises(seed):
+    injector = FaultInjector.random(
+        horizon_s=30.0,
+        seed=seed,
+        adapter_ids=[f"lora-{i}" for i in range(4)],
+        engine_ids=("engine-0",),
+        **FAULT_RATES,
+    )
+    builder = SystemBuilder(
+        num_adapters=4, gpu_adapter_slots=2, max_batch_size=8,
+        fault_injector=injector, deadline_slo_factor=4.0,
+    )
+    engine = builder.build("v-lora")
+    requests = make_workload(builder.adapter_ids, seed)
+    engine.submit(requests)
+    metrics = engine.run()
+    check_engine_invariants(engine, requests, metrics)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_single_engine_chaos_with_engine_fail(seed):
+    random_faults = FaultInjector.random(
+        horizon_s=30.0,
+        seed=seed,
+        adapter_ids=[f"lora-{i}" for i in range(4)],
+        engine_ids=("engine-0",),
+        **FAULT_RATES,
+    )
+    # Pin the kill early so it lands while requests are in flight
+    # (a random start over the horizon can miss the short workload).
+    injector = FaultInjector(
+        list(random_faults.specs)
+        + [FaultSpec(FaultKind.ENGINE_FAIL, 0.5, target="engine-0")]
+    )
+    builder = SystemBuilder(
+        num_adapters=4, gpu_adapter_slots=2, fault_injector=injector,
+    )
+    engine = builder.build("v-lora")
+    requests = make_workload(builder.adapter_ids, seed)
+    engine.submit(requests)
+    metrics = engine.run()
+    assert engine.failed
+    assert metrics.engine_failures == 1
+    # A standalone failed engine strands its live requests (the cluster
+    # layer is responsible for failover) but must not lose track of them.
+    live = [r for r in requests if not r.is_terminal]
+    assert engine.num_live == len(live)
+    orphans = engine.drain_orphans()
+    assert sorted(r.request_id for r in orphans) == sorted(
+        r.request_id for r in live
+    )
+    assert engine.num_live == 0
+    engine.kv.set_reserved(0)
+    engine.kv.evict_stale_prefixes(float("inf"))
+    assert engine.kv.free_blocks == engine.kv.num_blocks
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cluster_chaos_conserves_requests(seed):
+    adapter_ids = [f"lora-{i}" for i in range(4)]
+    injector = FaultInjector.random(
+        horizon_s=30.0,
+        seed=seed,
+        adapter_ids=adapter_ids,
+        engine_ids=("gpu-0", "gpu-1", "gpu-2"),
+        engine_fail_rate=0.05,
+        **FAULT_RATES,
+    )
+    builder = SystemBuilder(
+        num_adapters=4, gpu_adapter_slots=2, fault_injector=injector,
+        deadline_slo_factor=4.0,
+    )
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), num_gpus=3,
+    )
+    requests = make_workload(adapter_ids, seed, rate_rps=30.0)
+    server.submit(requests)
+    metrics = server.run()
+    assert all(r.is_terminal for r in requests)
+    assert metrics.num_completed + metrics.num_aborted == len(requests)
+    for engine in server.engines:
+        if not engine.failed:
+            assert engine.num_live == 0
+            engine.kv.set_reserved(0)
+            engine.kv.evict_stale_prefixes(float("inf"))
+            assert engine.kv.free_blocks == engine.kv.num_blocks
+            engine.kv.check_invariants()
+    summary = metrics.summary()
+    assert summary["completed"] + summary["aborted"] == float(len(requests))
+
+
+def test_chaos_is_reproducible():
+    adapter_ids = [f"lora-{i}" for i in range(4)]
+
+    def run_once():
+        injector = FaultInjector.random(
+            horizon_s=30.0, seed=11, adapter_ids=adapter_ids,
+            engine_ids=("engine-0",), **FAULT_RATES,
+        )
+        builder = SystemBuilder(
+            num_adapters=4, gpu_adapter_slots=2, fault_injector=injector,
+            deadline_slo_factor=4.0,
+        )
+        engine = builder.build("v-lora")
+        engine.submit(make_workload(adapter_ids, seed=11))
+        return engine.run()
+
+    a, b = run_once(), run_once()
+    assert a.summary() == b.summary()
