@@ -1,0 +1,275 @@
+"""Simulator scale-out bench: memoized engine + parallel sweeps.
+
+Not a paper figure — this measures the simulator itself, in simulated
+requests per wall-clock second, so the evaluation suite can scale to
+million-request traces:
+
+* **engine**: one 50k-request Azure-shaped retrieval trace (bursty
+  arrivals at ~1.5x capacity, so the backlog deepens the way long
+  traces do) served by the current engine (cost memoization +
+  incremental queue/active-set state) and by the pre-optimization seed
+  snapshot (``_legacy_engine.SeedServingEngine``).  Both must produce
+  identical metrics to full float precision; the current engine must be
+  >= 5x faster.
+* **sweep**: the Fig 14 retrieval grid (4 systems x 4 rates) run
+  serially and with ``SweepRunner(parallel=4)``.  Cell metrics must be
+  identical; the parallel run must be >= 3x faster.
+
+Results land in ``BENCH_sim_throughput.json`` at the repo root (plus
+``results/sim_throughput.json`` when run under pytest).  Scale knobs:
+
+* script: ``python benchmarks/bench_sim_throughput.py [num_requests]``
+  (default 50000 — the acceptance configuration, a few minutes of
+  seed-engine wall clock);
+* pytest / CI smoke: ``BENCH_SIM_REQUESTS`` env var (default 4000 so
+  the suite stays quick); speedup floors are only asserted at full
+  scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _legacy_engine import SeedServingEngine
+
+from repro.analysis.sweep import SweepRunner
+from repro.core.builder import SystemBuilder
+from repro.runtime.request import Request, reset_request_ids
+from repro.workloads.retrieval import RetrievalWorkload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_sim_throughput.json"
+
+FULL_SCALE_REQUESTS = 50_000
+#: ~1.5x the 8-adapter v-lora capacity (~8 rps): the backlog grows for
+#: the whole arrival window, which is what makes long traces expensive.
+ENGINE_RATE_RPS = 12.0
+SWEEP_RATES = (2.0, 6.0, 10.0, 14.0)
+SWEEP_SYSTEMS = ("v-lora", "s-lora", "punica", "dlora")
+SWEEP_DURATION_S = 40.0
+SWEEP_PARALLEL = 4
+SEED = 14
+
+
+def _comparable_summary(metrics) -> Dict[str, float]:
+    """Metrics summary minus the cache's own observability counters."""
+    summary = metrics.summary()
+    summary.pop("cost_cache_hits", None)
+    summary.pop("cost_cache_misses", None)
+    return summary
+
+
+def _generate_trace(builder: SystemBuilder, num_requests: int,
+                    ) -> List[Request]:
+    """A deterministic Azure-shaped trace of exactly ``num_requests``."""
+    duration_s = num_requests / ENGINE_RATE_RPS * 1.1
+    reset_request_ids()
+    requests = RetrievalWorkload(
+        builder.adapter_ids, rate_rps=ENGINE_RATE_RPS,
+        duration_s=duration_s, use_task_heads=True, seed=SEED,
+    ).generate()
+    if len(requests) < num_requests:
+        raise RuntimeError(
+            f"trace too short: {len(requests)} < {num_requests}"
+        )
+    return requests[:num_requests]
+
+
+def _run_engine(num_requests: int, engine_cls=None,
+                enable_cost_cache: bool = True,
+                ) -> Tuple[float, Dict[str, float]]:
+    """(wall seconds, comparable summary) for one engine variant."""
+    builder = SystemBuilder(num_adapters=8,
+                            enable_cost_cache=enable_cost_cache)
+    requests = _generate_trace(builder, num_requests)
+    engine = builder.build("v-lora", engine_cls=engine_cls)
+    engine.submit(requests)
+    start = time.perf_counter()
+    metrics = engine.run()
+    wall = time.perf_counter() - start
+    return wall, _comparable_summary(metrics)
+
+
+def run_engine_bench(num_requests: int) -> Dict[str, object]:
+    variants = {
+        "optimized": dict(),
+        "cache_disabled": dict(enable_cost_cache=False),
+        "seed": dict(engine_cls=SeedServingEngine),
+    }
+    walls: Dict[str, float] = {}
+    summaries: Dict[str, Dict[str, float]] = {}
+    for name, kwargs in variants.items():
+        walls[name], summaries[name] = _run_engine(num_requests, **kwargs)
+    for name in ("cache_disabled", "seed"):
+        if summaries[name] != summaries["optimized"]:
+            diff = {
+                k: (summaries["optimized"].get(k), summaries[name].get(k))
+                for k in set(summaries["optimized"]) | set(summaries[name])
+                if summaries["optimized"].get(k) != summaries[name].get(k)
+            }
+            raise AssertionError(
+                f"metrics diverged between optimized and {name}: {diff}"
+            )
+    return {
+        "num_requests": num_requests,
+        "rate_rps": ENGINE_RATE_RPS,
+        "wall_seconds": {k: round(v, 3) for k, v in walls.items()},
+        "sim_requests_per_sec": {
+            k: round(num_requests / v, 1) for k, v in walls.items()
+        },
+        "speedup_vs_seed": round(walls["seed"] / walls["optimized"], 2),
+        "metrics_identical": True,
+        "completed": summaries["optimized"]["completed"],
+    }
+
+
+def _sweep_factory(builder: SystemBuilder, duration_s: float):
+    def factory(rate: float, system: str) -> List[Request]:
+        return RetrievalWorkload(
+            builder.adapter_ids, rate_rps=float(rate),
+            duration_s=duration_s,
+            use_task_heads=(system == "v-lora"), seed=SEED,
+        ).generate()
+    return factory
+
+
+def _sweep_cells(result) -> List[Tuple[object, str, Dict[str, float]]]:
+    return [(c.axis_value, c.system, _comparable_summary(c.metrics))
+            for c in result.cells]
+
+
+def run_sweep_bench(duration_s: float = SWEEP_DURATION_S,
+                    ) -> Dict[str, object]:
+    builder = SystemBuilder(num_adapters=8)
+    runner = SweepRunner(builder, systems=SWEEP_SYSTEMS)
+    factory = _sweep_factory(builder, duration_s)
+
+    reset_request_ids()
+    start = time.perf_counter()
+    serial = runner.run("rate_rps", SWEEP_RATES, factory)
+    serial_wall = time.perf_counter() - start
+
+    reset_request_ids()
+    start = time.perf_counter()
+    parallel = runner.run("rate_rps", SWEEP_RATES, factory,
+                          parallel=SWEEP_PARALLEL)
+    parallel_wall = time.perf_counter() - start
+
+    if _sweep_cells(serial) != _sweep_cells(parallel):
+        raise AssertionError("parallel sweep diverged from serial sweep")
+    return {
+        "cells": len(serial.cells),
+        "systems": list(SWEEP_SYSTEMS),
+        "rates": list(SWEEP_RATES),
+        "duration_s": duration_s,
+        "parallel": SWEEP_PARALLEL,
+        "wall_seconds": {
+            "serial": round(serial_wall, 3),
+            "parallel": round(parallel_wall, 3),
+        },
+        "speedup": round(serial_wall / parallel_wall, 2),
+        "cells_identical": True,
+    }
+
+
+def run_bench(num_requests: int) -> Dict[str, object]:
+    full_scale = num_requests >= FULL_SCALE_REQUESTS
+    # The parallel sweep only expresses a wall-clock win when the host
+    # actually has cores to fan out over; the cell-for-cell identity
+    # check holds regardless.
+    cpu_count = len(os.sched_getaffinity(0)) if hasattr(
+        os, "sched_getaffinity") else (os.cpu_count() or 1)
+    payload = {
+        "bench": "sim_throughput",
+        "full_scale": full_scale,
+        "cpu_count": cpu_count,
+        "engine": run_engine_bench(num_requests),
+        "sweep": run_sweep_bench(
+            duration_s=150.0 if full_scale else SWEEP_DURATION_S
+        ),
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def _print_payload(payload: Dict[str, object]) -> None:
+    engine = payload["engine"]
+    sweep = payload["sweep"]
+    print(f"engine trace: {engine['num_requests']} requests @ "
+          f"{engine['rate_rps']} rps")
+    for name, wall in engine["wall_seconds"].items():
+        rps = engine["sim_requests_per_sec"][name]
+        print(f"  {name:<16} {wall:>8.2f}s  {rps:>9.1f} sim req/s")
+    print(f"  speedup vs seed: {engine['speedup_vs_seed']}x "
+          f"(metrics identical: {engine['metrics_identical']})")
+    print(f"sweep grid: {sweep['cells']} cells, parallel={sweep['parallel']}")
+    print(f"  serial   {sweep['wall_seconds']['serial']:>8.2f}s")
+    print(f"  parallel {sweep['wall_seconds']['parallel']:>8.2f}s")
+    print(f"  speedup: {sweep['speedup']}x "
+          f"(cells identical: {sweep['cells_identical']})")
+    print(f"wrote {OUT_PATH}")
+
+
+def _assert_floors(payload: Dict[str, object]) -> None:
+    engine_speedup = payload["engine"]["speedup_vs_seed"]
+    sweep_speedup = payload["sweep"]["speedup"]
+    if not payload["full_scale"]:
+        print(f"(small trace: speedup floors not asserted; "
+              f"engine {engine_speedup}x, sweep {sweep_speedup}x)")
+        return
+    assert engine_speedup >= 5.0, (
+        f"engine speedup {engine_speedup}x below the 5x floor"
+    )
+    if payload["cpu_count"] >= SWEEP_PARALLEL:
+        assert sweep_speedup >= 3.0, (
+            f"sweep speedup {sweep_speedup}x below the 3x floor"
+        )
+    else:
+        print(f"(only {payload['cpu_count']} CPU(s): the 3x parallel-sweep "
+              f"floor needs >= {SWEEP_PARALLEL} cores; measured "
+              f"{sweep_speedup}x, identity still asserted)")
+
+
+def test_sim_throughput(benchmark, results):
+    num_requests = int(os.environ.get("BENCH_SIM_REQUESTS", "4000"))
+    payload = run_bench(num_requests)
+    _print_payload(payload)
+    _assert_floors(payload)
+    results.print_table(
+        "Simulator throughput (sim requests / wall second)",
+        ["variant", "wall (s)", "sim req/s"],
+        [[name, payload["engine"]["wall_seconds"][name],
+          payload["engine"]["sim_requests_per_sec"][name]]
+         for name in ("optimized", "cache_disabled", "seed")],
+    )
+    results.save("sim_throughput", payload)
+
+    def one_iteration():
+        builder = SystemBuilder(num_adapters=4)
+        engine = builder.build("v-lora")
+        wl = RetrievalWorkload(builder.adapter_ids, rate_rps=4.0,
+                               duration_s=1.0, seed=0)
+        engine.submit(wl.generate())
+        engine.step()
+
+    benchmark.pedantic(one_iteration, rounds=3, iterations=1)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    num_requests = int(argv[0]) if argv else FULL_SCALE_REQUESTS
+    payload = run_bench(num_requests)
+    _print_payload(payload)
+    _assert_floors(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,12 +4,21 @@ The evaluation section is a pile of sweeps: rate x system, skew x
 system, adapters x system, GPUs x rate.  :class:`SweepRunner` runs one
 axis of workload variation against a set of systems with fresh engines
 per cell and returns a tidy result table.
+
+``SweepRunner.run(..., parallel=N)`` fans the grid out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Results are identical
+to the serial path cell-for-cell: every cell's workload is generated in
+the main process in serial order (so global request ids match), each
+worker builds its own engine from the pickled builder with the same
+deterministic seeds, and any parallel failure falls back to running the
+pre-generated cells serially.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.builder import SystemBuilder
 from repro.runtime.metrics import MetricsCollector
@@ -59,15 +68,37 @@ class SweepResult:
         """Rows of [axis value, metric per system...] for printing."""
         axis_values = sorted({c.axis_value for c in self.cells},
                              key=lambda v: (str(type(v)), v))
+        # Index once by (axis value, system) — the seed's per-row scans
+        # made this O(cells^2).  First cell wins on duplicates, matching
+        # the scan's ``match[0]``.
+        index: Dict[Tuple[object, str], SweepCell] = {}
+        for c in self.cells:
+            index.setdefault((c.axis_value, c.system), c)
         rows = []
         for value in axis_values:
-            row = [value]
+            row: List[object] = [value]
             for system in self.systems:
-                match = [c for c in self.cells
-                         if c.axis_value == value and c.system == system]
-                row.append(round(match[0].value(metric), 4) if match else None)
+                cell = index.get((value, system))
+                row.append(
+                    round(cell.value(metric), 4) if cell is not None else None
+                )
             rows.append(row)
         return rows
+
+
+def _run_sweep_cell(payload: Tuple[SystemBuilder, str, List[Request],
+                                   Optional[float]]) -> MetricsCollector:
+    """Process-pool worker: build one engine and run one cell.
+
+    Module-level so it pickles under any multiprocessing start method.
+    The requests arrive as pickled copies, so worker-side mutation never
+    leaks back into the parent's objects (which the serial fallback
+    reuses).
+    """
+    builder, system, requests, until = payload
+    engine = builder.build(system)
+    engine.submit(requests)
+    return engine.run(until=until)
 
 
 class SweepRunner:
@@ -87,21 +118,76 @@ class SweepRunner:
         axis_values: Sequence[object],
         workload_factory: WorkloadFactory,
         until: Optional[float] = None,
+        parallel: Optional[int] = None,
     ) -> SweepResult:
-        """Execute the grid; every cell gets a fresh engine."""
+        """Execute the grid; every cell gets a fresh engine.
+
+        ``parallel=N`` (N > 1) runs cells on a process pool.  Workloads
+        are still generated in the main process, in the same
+        ``(axis value, system)`` nesting order as the serial path, so the
+        global request-id sequence — and therefore every cell's metrics —
+        is identical to ``parallel=None`` down to the last float.  If the
+        pool cannot be used (sandboxed interpreter, pickling failure,
+        worker crash) the pre-generated cells run serially instead.
+        """
         if not axis_values:
             raise ValueError("need at least one axis value")
         result = SweepResult(axis_name=axis_name, systems=self.systems)
+        if parallel is not None and parallel > 1:
+            cells = self._generate_cells(axis_name, axis_values,
+                                         workload_factory)
+            metrics_list = self._run_cells_parallel(cells, until, parallel)
+            for (value, system, _), metrics in zip(cells, metrics_list):
+                result.cells.append(SweepCell(value, system, metrics))
+            return result
         for value in axis_values:
             for system in self.systems:
                 engine = self.builder.build(system)
-                requests = list(workload_factory(value, system))
-                if not requests:
-                    raise ValueError(
-                        f"workload factory produced no requests for "
-                        f"{axis_name}={value!r}, system={system!r}"
-                    )
+                requests = self._generate_workload(
+                    axis_name, value, system, workload_factory
+                )
                 engine.submit(requests)
                 metrics = engine.run(until=until)
                 result.cells.append(SweepCell(value, system, metrics))
         return result
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _generate_workload(self, axis_name: str, value: object, system: str,
+                           workload_factory: WorkloadFactory,
+                           ) -> List[Request]:
+        requests = list(workload_factory(value, system))
+        if not requests:
+            raise ValueError(
+                f"workload factory produced no requests for "
+                f"{axis_name}={value!r}, system={system!r}"
+            )
+        return requests
+
+    def _generate_cells(self, axis_name: str, axis_values: Sequence[object],
+                        workload_factory: WorkloadFactory,
+                        ) -> List[Tuple[object, str, List[Request]]]:
+        """Materialise every cell's workload upfront, in serial order."""
+        return [
+            (value, system,
+             self._generate_workload(axis_name, value, system,
+                                     workload_factory))
+            for value in axis_values
+            for system in self.systems
+        ]
+
+    def _run_cells_parallel(
+        self,
+        cells: List[Tuple[object, str, List[Request]]],
+        until: Optional[float],
+        parallel: int,
+    ) -> List[MetricsCollector]:
+        payloads = [(self.builder, system, requests, until)
+                    for _, system, requests in cells]
+        try:
+            with ProcessPoolExecutor(max_workers=parallel) as pool:
+                return list(pool.map(_run_sweep_cell, payloads))
+        except Exception:
+            # Identical results guaranteed: same requests (workers only
+            # saw pickled copies), same builder, fresh engine per cell.
+            return [_run_sweep_cell(payload) for payload in payloads]

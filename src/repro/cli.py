@@ -52,6 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="replay a JSONL trace instead of generating")
     serve.add_argument("--json", action="store_true",
                        help="print the metrics summary as JSON")
+    serve.add_argument("--profile", type=int, nargs="?", const=20,
+                       default=None, metavar="N",
+                       help="cProfile the run and print the top N "
+                            "functions by cumulative time (default 20)")
+    serve.add_argument("--no-cost-cache", action="store_true",
+                       help="disable iteration-cost memoization (the "
+                            "reference cost path; results are identical)")
     fault = serve.add_argument_group(
         "fault injection (docs/FAULTS.md; rates are events per sim-second)"
     )
@@ -81,6 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated request rates")
     compare.add_argument("--systems", default=",".join(
         ("v-lora", "s-lora", "punica", "dlora")))
+    compare.add_argument("--parallel", type=int, default=None, metavar="N",
+                         help="run sweep cells on N worker processes "
+                              "(identical results to the serial sweep)")
 
     fuse = sub.add_parser(
         "fuse", help="plan adapter generation with the fusion oracle"
@@ -219,12 +229,17 @@ def cmd_serve(args) -> int:
         print(f"--gpu-slots must be positive, got {args.gpu_slots}",
               file=sys.stderr)
         return 2
+    if args.profile is not None and args.profile <= 0:
+        print(f"--profile must be positive, got {args.profile}",
+              file=sys.stderr)
+        return 2
     builder = SystemBuilder(model=get_model(args.model),
                             num_adapters=args.adapters,
                             gpu_adapter_slots=args.gpu_slots,
                             jitter_seed=args.seed,
                             fault_injector=_make_fault_injector(args),
-                            deadline_slo_factor=args.deadline_factor)
+                            deadline_slo_factor=args.deadline_factor,
+                            enable_cost_cache=not args.no_cost_cache)
     engine = builder.build(args.system)
     if args.trace_in:
         try:
@@ -241,7 +256,18 @@ def cmd_serve(args) -> int:
         save_trace(args.trace_out, requests)
         print(f"trace saved to {args.trace_out} ({len(requests)} requests)")
     engine.submit(requests)
-    metrics = engine.run()
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        metrics = engine.run()
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(args.profile)
+    else:
+        metrics = engine.run()
     summary = metrics.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -266,6 +292,10 @@ def cmd_compare(args) -> int:
               f"comma-separated subset of {', '.join(SYSTEM_NAMES)}",
               file=sys.stderr)
         return 2
+    if args.parallel is not None and args.parallel <= 0:
+        print(f"--parallel must be positive, got {args.parallel}",
+              file=sys.stderr)
+        return 2
     builder = SystemBuilder(model=get_model(args.model),
                             num_adapters=args.adapters,
                             jitter_seed=args.seed)
@@ -276,7 +306,7 @@ def cmd_compare(args) -> int:
         args_copy.rate = rate
         return _make_workload(args_copy, system)
 
-    sweep = runner.run("rate_rps", rates, factory)
+    sweep = runner.run("rate_rps", rates, factory, parallel=args.parallel)
     metric = "avg_token_latency_ms"
     series = {s: sweep.series(s, metric) for s in systems}
     print(line_chart(series, title=f"{metric} vs rate",

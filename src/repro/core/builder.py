@@ -71,6 +71,9 @@ class SystemBuilder:
     #: Abort requests past ``deadline_slo_factor * slo_s`` (see
     #: :class:`~repro.runtime.engine.EngineConfig`).
     deadline_slo_factor: Optional[float] = None
+    #: Memoize iteration costs per batch signature (bit-identical
+    #: results; ``False`` forces the reference cost path).
+    enable_cost_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.num_adapters <= 0:
@@ -136,8 +139,13 @@ class SystemBuilder:
 
     # -- assembly --------------------------------------------------------------------
 
-    def build(self, system: str) -> ServingEngine:
-        """Construct a fresh engine for the named system."""
+    def build(self, system: str, engine_cls=None) -> ServingEngine:
+        """Construct a fresh engine for the named system.
+
+        ``engine_cls`` swaps in an alternative engine implementation
+        with the same constructor (e.g. the seed-baseline snapshot used
+        by ``benchmarks/bench_sim_throughput.py``).
+        """
         system = system.lower()
         if system == "vlora":
             system = "v-lora"
@@ -170,8 +178,10 @@ class SystemBuilder:
             batch_prefills=(system != "punica"),
             tensor_parallel=self.tensor_parallel,
             deadline_slo_factor=self.deadline_slo_factor,
+            enable_cost_cache=self.enable_cost_cache,
         )
-        return ServingEngine(
+        cls = engine_cls if engine_cls is not None else ServingEngine
+        return cls(
             model=self.model,
             gpu=self.gpu,
             operator=operator,

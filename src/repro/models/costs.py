@@ -44,6 +44,12 @@ class IterationCostModel:
         self.gpu = gpu
         self.tp_degree = tp_degree
         self.cost_model = cost_model or GemmCostModel(gpu)
+        # Memoize per *instance*: a class-level ``@lru_cache`` on a method
+        # closes over ``self``, so one shared cache pins every instance
+        # alive and mixes entries across (model, GPU, tp) configurations.
+        self.decode_seconds_uniform = lru_cache(maxsize=4096)(
+            self._decode_seconds_uniform
+        )
         # Tensor parallelism shards every weight matrix across GPUs:
         # per-GPU compute and weight traffic shrink by tp, at the cost of
         # two all-reduces of the activations per layer (Megatron-style).
@@ -150,14 +156,56 @@ class IterationCostModel:
         mem = wbytes / self._bw
         return max(compute, mem) + self.cost_model.launch_seconds(num_images)
 
+    def decode_seconds_stats(
+        self,
+        batch: int,
+        total_context: int,
+        lm_head: bool = True,
+        task_head_classes: int = 0,
+    ) -> float:
+        """One decode step from sufficient statistics (batch, Σ context).
+
+        Bit-identical to :meth:`decode_seconds` on any batch with the
+        same size and total context length: the cost model is affine in
+        the per-request context lengths (attention FLOPs and KV traffic
+        are both linear in ``c``), and every intermediate product/sum is
+        an exact integer-valued float far below 2**53, so the reduction
+        loses nothing.  This is what lets the engine's memoized cost
+        layer key decode iterations on ``(batch, total_context)`` instead
+        of the full per-request KV-length vector.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        if total_context < batch:
+            raise ValueError(
+                f"total_context {total_context} below batch size {batch} "
+                f"(context lengths are positive)"
+            )
+        flops = batch * self.model.flops_per_token()
+        flops += self.model.attention_flops(1, total_context)
+        compute = flops / self._peak
+        kv_bytes = total_context * self.model.kv_bytes_per_token
+        mem = (self._layer_weight_bytes + kv_bytes) / self._bw
+        t = max(compute, mem) + 0.1 * min(compute, mem)
+        t += self._launches + self.ITERATION_OVERHEAD_S
+        t += self._allreduce_seconds(batch)
+        if lm_head:
+            t += self.head_seconds(batch, self.model.vocab_size)
+        if task_head_classes > 0:
+            t += self.head_seconds(batch, task_head_classes)
+        return t
+
     # -- convenience -------------------------------------------------------------
 
-    @lru_cache(maxsize=4096)
-    def decode_seconds_uniform(
+    def _decode_seconds_uniform(
         self, batch: int, context_len: int,
         lm_head: bool = True, task_head_classes: int = 0,
     ) -> float:
-        """Memoized decode step for a uniform-context batch (hot path)."""
+        """Memoized decode step for a uniform-context batch (hot path).
+
+        Exposed as ``decode_seconds_uniform`` (wrapped per instance in
+        ``__init__`` so caches are never shared across GPU configs).
+        """
         return self.decode_seconds(
             [context_len] * batch, lm_head=lm_head,
             task_head_classes=task_head_classes,

@@ -77,7 +77,8 @@ class MultiGPUServer:
         # Load measured in queued decode rounds (a better proxy than
         # request count when tasks differ in output length).
         loads = [
-            sum(req.remaining for req in e._pending) for e in self.engines
+            sum(req.remaining for req in e.pending_requests)
+            for e in self.engines
         ]
         for r in requests:
             i = loads.index(min(loads))
@@ -133,7 +134,8 @@ class MultiGPUServer:
                            survivors: Sequence[ServingEngine]) -> None:
         """Least-loaded requeue of orphans onto surviving engines."""
         loads = [
-            sum(req.remaining for req in e._pending) + len(e._active)
+            sum(req.remaining for req in e.pending_requests)
+            + len(e._active)
             for e in survivors
         ]
         for r in sorted(orphans, key=lambda q: (q.arrival_time,

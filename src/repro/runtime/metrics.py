@@ -114,6 +114,9 @@ class MetricsCollector:
     kv_stall_iters: int = 0
     failover_events: int = 0
     engine_failures: int = 0
+    # -- cost-cache accounting (memoized iteration-cost layer) -------------
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
 
     def complete(self, req: Request) -> None:
         self.records.append(RequestRecord.from_request(req))
@@ -250,6 +253,8 @@ class MetricsCollector:
         self.kv_stall_iters += other.kv_stall_iters
         self.failover_events += other.failover_events
         self.engine_failures += other.engine_failures
+        self.cost_cache_hits += other.cost_cache_hits
+        self.cost_cache_misses += other.cost_cache_misses
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for bench JSON dumps).
@@ -280,7 +285,8 @@ class MetricsCollector:
             out[f"aborted_{reason}"] = float(count)
         for key in ("swap_retries", "adapters_quarantined", "mode_fallbacks",
                     "shed_events", "kv_stall_iters", "failover_events",
-                    "engine_failures"):
+                    "engine_failures", "cost_cache_hits",
+                    "cost_cache_misses"):
             value = getattr(self, key)
             if value:
                 out[key] = float(value)

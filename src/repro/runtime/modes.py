@@ -91,6 +91,38 @@ class ModeExecutor:
         rng:
             Optional generator for operator run-to-run jitter (Fig. 18).
         """
+        mean = self.mean_extra_seconds(
+            mode, adapter_tokens, adapter_ranks, merged_adapter=merged_adapter
+        )
+        return self.extra_seconds_from_mean(mean, rng)
+
+    def extra_seconds_from_mean(
+        self, mean_seconds: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Apply operator run-to-run jitter to a deterministic mean.
+
+        Zero means (merged mode, degenerate mixture) never sample, so the
+        rng stream advances exactly as it did before the mean became
+        memoizable — a prerequisite for cache-on/off bit-identity.
+        """
+        if mean_seconds == 0.0:
+            return 0.0
+        return self.operator.sample_seconds(mean_seconds, rng)
+
+    def mean_extra_seconds(
+        self,
+        mode: InferenceMode,
+        adapter_tokens: Dict[str, int],
+        adapter_ranks: Dict[str, int],
+        merged_adapter: Optional[str] = None,
+    ) -> float:
+        """Deterministic (pre-jitter) extra latency of one iteration.
+
+        This is the pure function of ``(mode, merged adapter, adapter
+        token groups, ranks)`` that the engine's cost cache memoizes;
+        :meth:`extra_seconds` is this plus jitter sampling.
+        """
         if not adapter_tokens:
             raise ValueError("need at least one adapter group")
         missing = set(adapter_tokens) - set(adapter_ranks)
@@ -127,8 +159,7 @@ class ModeExecutor:
 
         token_counts = list(groups.values())
         ranks = [adapter_ranks[a] for a in groups]
-        mean = self.operator.layer_seconds(
+        return self.operator.layer_seconds(
             token_counts, ranks, self.model.hidden_dim,
             num_projections=self.num_projections,
         ) * self.model.num_layers
-        return self.operator.sample_seconds(mean, rng)

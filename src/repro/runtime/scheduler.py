@@ -16,7 +16,7 @@ from __future__ import annotations
 import abc
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.runtime.modes import InferenceMode
 from repro.runtime.request import Request
@@ -32,6 +32,15 @@ class SchedulingContext:
     max_batch_size: int
     est_iteration_seconds: float
     est_switch_seconds: float
+    #: True when ``candidates`` already arrive in FCFS order
+    #: (arrival_time, request_id); policies may then skip their sorts —
+    #: bit-identical, since that key is a total order (ids are unique).
+    candidates_fcfs: bool = False
+    #: Incrementally maintained ``adapter -> live request count`` equal
+    #: to ``Counter(r.adapter_id for r in candidates)``; ``None`` when
+    #: the engine filtered the candidate set (counts would be stale).
+    #: Policies must treat it as read-only.
+    adapter_counts: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -84,15 +93,56 @@ class SchedulingPolicy(abc.ABC):
     ) -> Optional[SchedulerDecision]:
         """Return the next decision, or ``None`` when nothing to run."""
 
+    def refresh_credits(self, requests: Sequence[Request],
+                        ctx: SchedulingContext) -> None:
+        """Recompute ``request.credit`` as :meth:`schedule` would.
+
+        Fast-path scheduling avoids touching every candidate's credit
+        each step; callers that *read* credits (shed-victim selection)
+        invoke this first so the values match what a full pass under
+        ``ctx`` would have written.  Policies without credits no-op.
+        """
+
     @staticmethod
-    def _fcfs(requests: Sequence[Request]) -> List[Request]:
+    def _first_matching(candidates: Sequence[Request], adapter_id: str,
+                        limit: int, start: int = 0) -> List[Request]:
+        """First ``limit`` requests of one adapter, preserving order."""
+        out: List[Request] = []
+        if limit <= 0:
+            return out
+        for i in range(start, len(candidates)):
+            r = candidates[i]
+            if r.adapter_id == adapter_id:
+                out.append(r)
+                if len(out) == limit:
+                    break
+        return out
+
+    @staticmethod
+    def _fcfs(requests: Sequence[Request],
+              presorted: bool = False) -> List[Request]:
+        """FCFS order; ``presorted`` skips the sort for ordered inputs.
+
+        Any order-preserving subset of an FCFS-ordered candidate list is
+        itself FCFS-ordered, so call sites may pass
+        ``ctx.candidates_fcfs`` for lists derived from ``candidates``
+        by filtering.
+        """
+        if presorted:
+            return list(requests)
         return sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
 
     @staticmethod
-    def _top_adapter(requests: Sequence[Request]) -> Optional[str]:
-        if not requests:
+    def _top_adapter(
+        requests: Sequence[Request],
+        counts: Optional[Dict[str, int]] = None,
+    ) -> Optional[str]:
+        if counts is None:
+            if not requests:
+                return None
+            counts = Counter(r.adapter_id for r in requests)
+        if not counts:
             return None
-        counts = Counter(r.adapter_id for r in requests)
         # Deterministic tie-break by adapter id.
         return min(counts, key=lambda a: (-counts[a], a))
 
@@ -113,9 +163,41 @@ class VLoRAPolicy(SchedulingPolicy):
             raise ValueError(f"theta must be positive, got {theta}")
         self.theta = theta
 
+    def _credit(self, r, ctx):
+        # Same float-addition order as the assignment loop below.
+        return (
+            r.waiting_time(ctx.now)
+            + ctx.est_iteration_seconds
+            + ctx.est_switch_seconds
+        )
+
+    def refresh_credits(self, requests, ctx):
+        for r in requests:
+            r.credit = self._credit(r, ctx)
+
+    def _starve_prefix_len(self, candidates, ctx) -> int:
+        """Length of the starving prefix of FCFS-ordered candidates.
+
+        Credit is ``max(0, now - arrival) + const`` — monotone
+        non-increasing along FCFS order (floating-point subtraction,
+        max, and addition are all monotone) — so ``credit > theta``
+        holds on exactly a prefix, found by bisection with the same
+        per-request float expression the full pass evaluates.
+        """
+        lo, hi = 0, len(candidates)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._credit(candidates[mid], ctx) > self.theta:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
     def schedule(self, candidates, ctx):
         if not candidates:
             return None
+        if ctx.candidates_fcfs and ctx.adapter_counts is not None:
+            return self._schedule_fast(candidates, ctx)
         max_bs = ctx.max_batch_size
         for r in candidates:
             r.credit = (
@@ -123,10 +205,13 @@ class VLoRAPolicy(SchedulingPolicy):
                 + ctx.est_iteration_seconds
                 + ctx.est_switch_seconds
             )
-        starve = self._fcfs([r for r in candidates if r.credit > self.theta])
-        top = self._top_adapter(candidates)
+        presorted = ctx.candidates_fcfs
+        starve = self._fcfs(
+            [r for r in candidates if r.credit > self.theta], presorted
+        )
+        top = self._top_adapter(candidates, ctx.adapter_counts)
         merge_reqs = self._fcfs(
-            [r for r in candidates if r.adapter_id == top]
+            [r for r in candidates if r.adapter_id == top], presorted
         )
         slots_after_starve = max(0, max_bs - len(starve))
 
@@ -191,10 +276,78 @@ class VLoRAPolicy(SchedulingPolicy):
         # Line 13-15: unmerged — starving first, then FCFS fill.
         starve_ids = {r.request_id for r in starve}
         rest = self._fcfs(
-            [r for r in candidates if r.request_id not in starve_ids]
+            [r for r in candidates if r.request_id not in starve_ids],
+            presorted,
         )
         batch = (starve + rest)[:max_bs]
         return SchedulerDecision(batch=batch, mode=InferenceMode.UNMERGED)
+
+    def _schedule_fast(self, candidates, ctx):
+        """O(log n + batch) twin of :meth:`schedule` for ordered input.
+
+        Decision-identical to the full pass when ``candidates`` are
+        FCFS-ordered and ``ctx.adapter_counts`` mirrors them: the starve
+        set is the bisected prefix, ``merge_reqs`` tallies come from the
+        counts, and every batch is assembled by early-exit scans instead
+        of whole-queue list comprehensions.  Credits are not written
+        here — :meth:`refresh_credits` recomputes them on demand.
+        """
+        max_bs = ctx.max_batch_size
+        n = len(candidates)
+        num_starve = self._starve_prefix_len(candidates, ctx)
+        num_merge_total = 0
+        top = self._top_adapter(candidates, ctx.adapter_counts)
+        if top is not None:
+            num_merge_total = ctx.adapter_counts.get(top, 0)
+
+        if not num_starve and num_merge_total == n:
+            # All candidates share one adapter and nothing starves.
+            return SchedulerDecision(
+                batch=list(candidates[:max_bs]),
+                mode=InferenceMode.MERGED,
+                merged_adapter=top,
+            )
+
+        def merged_decision():
+            return SchedulerDecision(
+                batch=self._first_matching(candidates, top, max_bs),
+                mode=InferenceMode.MERGED,
+                merged_adapter=top,
+            )
+
+        def mixture_decision():
+            # Non-starving merge requests all live past the starve
+            # prefix, so the fill scan starts there.
+            starve = list(candidates[:num_starve])
+            fill = self._first_matching(
+                candidates, top, max(0, max_bs - num_starve),
+                start=num_starve,
+            )
+            return SchedulerDecision(
+                batch=(starve + fill)[:max_bs],
+                mode=InferenceMode.MIXTURE,
+                merged_adapter=top,
+            )
+
+        if (ctx.current_merged == top and num_merge_total
+                and ctx.current_mode in (InferenceMode.MERGED,
+                                         InferenceMode.MIXTURE)):
+            if not num_starve:
+                return merged_decision()
+            if num_starve / max_bs <= 0.5:
+                return mixture_decision()
+
+        if (num_starve / max_bs <= 0.5
+                and num_merge_total / max_bs > 0.5):
+            if not num_starve:
+                return merged_decision()
+            return mixture_decision()
+        # Unmerged: starving prefix first, then FCFS fill — which for
+        # ordered candidates is simply the head of the queue.
+        return SchedulerDecision(
+            batch=list(candidates[:max_bs]),
+            mode=InferenceMode.UNMERGED,
+        )
 
 
 class UnmergedOnlyPolicy(SchedulingPolicy):
@@ -205,7 +358,10 @@ class UnmergedOnlyPolicy(SchedulingPolicy):
     def schedule(self, candidates, ctx):
         if not candidates:
             return None
-        batch = self._fcfs(candidates)[: ctx.max_batch_size]
+        if ctx.candidates_fcfs:
+            batch = list(candidates[: ctx.max_batch_size])
+        else:
+            batch = self._fcfs(candidates)[: ctx.max_batch_size]
         return SchedulerDecision(batch=batch, mode=InferenceMode.UNMERGED)
 
 
@@ -233,7 +389,9 @@ class MergedOnlyPolicy(SchedulingPolicy):
                 by_adapter,
                 key=lambda a: min(r.arrival_time for r in by_adapter[a]),
             )
-        batch = self._fcfs(by_adapter[target])[: ctx.max_batch_size]
+        batch = self._fcfs(
+            by_adapter[target], ctx.candidates_fcfs
+        )[: ctx.max_batch_size]
         return SchedulerDecision(
             batch=batch, mode=InferenceMode.MERGED, merged_adapter=target
         )
@@ -258,7 +416,9 @@ class DLoRAPolicy(SchedulingPolicy):
     def schedule(self, candidates, ctx):
         if not candidates:
             return None
-        top = self._top_adapter(candidates)
+        if ctx.candidates_fcfs and ctx.adapter_counts is not None:
+            return self._schedule_fast(candidates, ctx)
+        top = self._top_adapter(candidates, ctx.adapter_counts)
         top_reqs = [r for r in candidates if r.adapter_id == top]
         share = len(top_reqs) / len(candidates)
         others_starving = any(
@@ -267,9 +427,47 @@ class DLoRAPolicy(SchedulingPolicy):
         )
         if share > self.merge_share and not others_starving:
             return SchedulerDecision(
-                batch=self._fcfs(top_reqs)[: ctx.max_batch_size],
+                batch=self._fcfs(
+                    top_reqs, ctx.candidates_fcfs
+                )[: ctx.max_batch_size],
                 mode=InferenceMode.MERGED,
                 merged_adapter=top,
             )
-        batch = self._fcfs(candidates)[: ctx.max_batch_size]
+        batch = self._fcfs(
+            candidates, ctx.candidates_fcfs
+        )[: ctx.max_batch_size]
         return SchedulerDecision(batch=batch, mode=InferenceMode.UNMERGED)
+
+    def _schedule_fast(self, candidates, ctx):
+        """Decision-identical fast pass over FCFS-ordered candidates.
+
+        The dominant-adapter share comes from ``ctx.adapter_counts``;
+        the starvation probe touches only the oldest foreign request —
+        FCFS order makes its waiting time the maximum over all of them,
+        so one comparison decides ``any(...)``.
+        """
+        counts = ctx.adapter_counts
+        top = self._top_adapter(candidates, counts)
+        num_top = counts.get(top, 0)
+        n = len(candidates)
+        share = num_top / n
+        others_starving = False
+        if num_top < n:
+            oldest_other = next(
+                r for r in candidates if r.adapter_id != top
+            )
+            others_starving = (
+                oldest_other.waiting_time(ctx.now) > self.starvation_s
+            )
+        if share > self.merge_share and not others_starving:
+            return SchedulerDecision(
+                batch=self._first_matching(
+                    candidates, top, ctx.max_batch_size
+                ),
+                mode=InferenceMode.MERGED,
+                merged_adapter=top,
+            )
+        return SchedulerDecision(
+            batch=list(candidates[: ctx.max_batch_size]),
+            mode=InferenceMode.UNMERGED,
+        )

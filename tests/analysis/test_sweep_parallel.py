@@ -1,0 +1,98 @@
+"""Parallel sweep runner: identical results, table() indexing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import SweepCell, SweepResult, SweepRunner
+from repro.core.builder import SystemBuilder
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.request import reset_request_ids
+from repro.workloads.retrieval import RetrievalWorkload
+
+
+def _factory(value, system):
+    builder = SystemBuilder(num_adapters=4)
+    return RetrievalWorkload(
+        builder.adapter_ids, rate_rps=float(value), duration_s=8.0,
+        use_task_heads=(system == "v-lora"), seed=9,
+    ).generate()
+
+
+def _snapshot(result):
+    return [
+        (c.axis_value, c.system, c.metrics.summary(),
+         sorted((r.request_id, r.first_token_time, r.finish_time)
+                for r in c.metrics.records))
+        for c in result.cells
+    ]
+
+
+class TestParallelSweep:
+    def test_parallel_equals_serial_cell_for_cell(self):
+        builder = SystemBuilder(num_adapters=4)
+        runner = SweepRunner(builder, systems=("v-lora", "s-lora"))
+        reset_request_ids()
+        serial = runner.run("rate", [3.0, 6.0], _factory)
+        reset_request_ids()
+        parallel = runner.run("rate", [3.0, 6.0], _factory, parallel=2)
+        assert _snapshot(serial) == _snapshot(parallel)
+
+    def test_parallel_one_is_serial(self):
+        builder = SystemBuilder(num_adapters=4)
+        runner = SweepRunner(builder, systems=("v-lora",))
+        reset_request_ids()
+        a = runner.run("rate", [3.0], _factory, parallel=1)
+        reset_request_ids()
+        b = runner.run("rate", [3.0], _factory)
+        assert _snapshot(a) == _snapshot(b)
+
+    def test_fallback_on_broken_pool(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        class BrokenPool:
+            def __init__(self, *a, **k):
+                raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", BrokenPool)
+        builder = SystemBuilder(num_adapters=4)
+        runner = SweepRunner(builder, systems=("v-lora",))
+        reset_request_ids()
+        fell_back = runner.run("rate", [3.0], _factory, parallel=4)
+        monkeypatch.undo()
+        reset_request_ids()
+        serial = runner.run("rate", [3.0], _factory)
+        assert _snapshot(fell_back) == _snapshot(serial)
+
+    def test_empty_workload_still_rejected(self):
+        runner = SweepRunner(SystemBuilder(num_adapters=4),
+                             systems=("v-lora",))
+        with pytest.raises(ValueError, match="no requests"):
+            runner.run("rate", [3.0], lambda v, s: [], parallel=2)
+
+
+class TestTableIndex:
+    def _result(self):
+        result = SweepResult(axis_name="x", systems=["a", "b"])
+        for value in (1, 2, 3):
+            for system in ("a", "b"):
+                m = MetricsCollector()
+                m.iterations = value * (10 if system == "a" else 100)
+                result.cells.append(SweepCell(value, system, m))
+        return result
+
+    def test_table_values(self):
+        rows = self._result().table("iterations")
+        assert rows == [[1, 10, 100], [2, 20, 200], [3, 30, 300]]
+
+    def test_missing_cell_is_none(self):
+        result = self._result()
+        del result.cells[0]
+        assert result.table("iterations")[0] == [1, None, 100]
+
+    def test_duplicate_cell_first_wins(self):
+        result = self._result()
+        dup = MetricsCollector()
+        dup.iterations = 999
+        result.cells.append(SweepCell(1, "a", dup))
+        assert result.table("iterations")[0] == [1, 10, 100]

@@ -1,0 +1,187 @@
+"""Cost-memoization layer: unit behavior + bit-identical end-to-end runs.
+
+The cache's contract (see ``repro/runtime/costcache.py``) is that it may
+only change wall-clock time, never simulated results.  The property
+tests here run the same workload through the memoized and reference cost
+paths and require the final clock, every per-request timestamp, and the
+whole metrics summary to match to full float precision — across
+systems, seeds, and fault schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import SystemBuilder
+from repro.models.config import QWEN_VL_7B
+from repro.models.costs import IterationCostModel
+from repro.hardware.gpu import A100_80GB
+from repro.runtime.costcache import BatchSignature, IterationCostCache
+from repro.runtime.faults import FaultInjector
+from repro.runtime.modes import InferenceMode
+from repro.runtime.request import reset_request_ids
+from repro.workloads.retrieval import RetrievalWorkload
+
+
+def _signature(**overrides) -> BatchSignature:
+    base = dict(
+        mode=InferenceMode.UNMERGED,
+        merged_adapter=None,
+        prefill_launches=(((64, 32), 1),),
+        num_decodes=3,
+        decode_context_total=300,
+        lm_head=True,
+        task_head_classes=0,
+        adapter_groups=(("lora-0", 5),),
+        adapter_ranks=(("lora-0", 64),),
+    )
+    base.update(overrides)
+    return BatchSignature(**base)
+
+
+class TestIterationCostCache:
+    def _cache(self, **kwargs) -> IterationCostCache:
+        engine = SystemBuilder(num_adapters=2).build("v-lora")
+        return IterationCostCache(engine.iter_costs, engine.mode_exec,
+                                  **kwargs)
+
+    def test_hit_and_miss_counters(self):
+        cache = self._cache()
+        sig = _signature()
+        first = cache.lookup(sig)
+        second = cache.lookup(sig)
+        assert first == second
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.metrics.cost_cache_hits == 1
+        assert cache.metrics.cost_cache_misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_distinct_signatures_miss(self):
+        cache = self._cache()
+        cache.lookup(_signature())
+        cache.lookup(_signature(decode_context_total=301))
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_base_matches_direct_cost_model(self):
+        cache = self._cache()
+        sig = _signature()
+        base, extra_mean = cache.lookup(sig)
+        expected = 0.0
+        for tokens, images in sig.prefill_launches:
+            expected += cache.iter_costs.prefill_seconds(tokens, images)
+        expected += cache.iter_costs.decode_seconds_stats(
+            sig.num_decodes, sig.decode_context_total
+        )
+        assert base == expected
+        assert extra_mean == cache.mode_exec.mean_extra_seconds(
+            sig.mode, dict(sig.adapter_groups), dict(sig.adapter_ranks),
+            merged_adapter=sig.merged_adapter,
+        )
+
+    def test_eviction_clears_but_stays_correct(self):
+        cache = self._cache(max_entries=2)
+        sigs = [_signature(decode_context_total=300 + i) for i in range(4)]
+        values = [cache.lookup(s) for s in sigs]
+        assert [cache.lookup(s) for s in sigs] == values
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            self._cache(max_entries=0)
+
+
+class TestDecodeStats:
+    def test_matches_per_request_decode(self):
+        costs = IterationCostModel(QWEN_VL_7B, A100_80GB)
+        for lens in ((17,), (64, 64, 64), (1, 2, 3, 4, 5),
+                     (1000, 13, 512, 2048)):
+            for lm_head, classes in ((True, 0), (False, 101), (True, 365)):
+                assert costs.decode_seconds_stats(
+                    len(lens), sum(lens), lm_head=lm_head,
+                    task_head_classes=classes,
+                ) == costs.decode_seconds(
+                    lens, lm_head=lm_head, task_head_classes=classes,
+                )
+
+    def test_uniform_cache_is_per_instance(self):
+        a = IterationCostModel(QWEN_VL_7B, A100_80GB)
+        b = IterationCostModel(QWEN_VL_7B, A100_80GB, tp_degree=2)
+        a.decode_seconds_uniform(4, 128)
+        # A class-level ``@lru_cache`` would share (and cross-pollute)
+        # one table keyed without tp_degree; per-instance wrappers stay
+        # independent.
+        assert a.decode_seconds_uniform.cache_info().currsize == 1
+        assert b.decode_seconds_uniform.cache_info().currsize == 0
+        assert (a.decode_seconds_uniform(4, 128)
+                != b.decode_seconds_uniform(4, 128))
+
+
+def _run_once(system: str, seed: int, enable_cost_cache: bool,
+              with_faults: bool):
+    injector = None
+    if with_faults:
+        injector = FaultInjector.random(
+            horizon_s=120.0, seed=seed,
+            adapter_ids=[f"lora-{i}" for i in range(8)],
+            swap_fail_rate=0.05, swap_slow_rate=0.05,
+            kv_pressure_rate=0.02, engine_slow_rate=0.02,
+        )
+    builder = SystemBuilder(num_adapters=8, gpu_adapter_slots=4,
+                            jitter_seed=seed,
+                            fault_injector=injector,
+                            enable_cost_cache=enable_cost_cache)
+    reset_request_ids()
+    requests = RetrievalWorkload(
+        builder.adapter_ids, rate_rps=12.0, duration_s=25.0,
+        use_task_heads=(system == "v-lora"), seed=seed,
+    ).generate()
+    engine = builder.build(system)
+    engine.submit(requests)
+    metrics = engine.run()
+    summary = metrics.summary()
+    summary.pop("cost_cache_hits", None)
+    summary.pop("cost_cache_misses", None)
+    records = sorted(
+        (r.request_id, r.arrival_time, r.first_token_time, r.finish_time)
+        for r in metrics.records
+    )
+    return engine.clock.now, records, summary
+
+
+class TestCacheEquivalence:
+    """Memoized runs are bit-identical to the reference cost path."""
+
+    @pytest.mark.parametrize("system", ["v-lora", "s-lora", "punica",
+                                        "dlora"])
+    def test_systems(self, system):
+        assert (_run_once(system, seed=3, enable_cost_cache=True,
+                          with_faults=False)
+                == _run_once(system, seed=3, enable_cost_cache=False,
+                             with_faults=False))
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_seeds(self, seed):
+        assert (_run_once("v-lora", seed=seed, enable_cost_cache=True,
+                          with_faults=False)
+                == _run_once("v-lora", seed=seed, enable_cost_cache=False,
+                             with_faults=False))
+
+    @pytest.mark.parametrize("system", ["v-lora", "dlora"])
+    def test_fault_schedules(self, system):
+        cached = _run_once(system, seed=5, enable_cost_cache=True,
+                           with_faults=True)
+        assert cached == _run_once(system, seed=5, enable_cost_cache=False,
+                                   with_faults=True)
+
+    def test_cache_actually_engages(self):
+        builder = SystemBuilder(num_adapters=4)
+        reset_request_ids()
+        requests = RetrievalWorkload(
+            builder.adapter_ids, rate_rps=10.0, duration_s=20.0,
+            use_task_heads=True, seed=1,
+        ).generate()
+        engine = builder.build("v-lora")
+        engine.submit(requests)
+        metrics = engine.run()
+        assert metrics.cost_cache_misses > 0
+        assert (metrics.cost_cache_hits + metrics.cost_cache_misses
+                == metrics.iterations)
