@@ -71,6 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="transient KV-memory pressure windows per second")
     fault.add_argument("--engine-slow-rate", type=float, default=0.0,
                        help="GPU straggler windows per second")
+    fault.add_argument("--burst-rate", type=float, default=0.0,
+                       help="load-burst windows per second (arrivals are "
+                            "time-compressed 3-8x inside each window)")
     fault.add_argument("--deadline-factor", type=float, default=None,
                        help="abort requests older than factor x their SLO")
     fault.add_argument("--slo", type=float, default=None,
@@ -79,6 +82,36 @@ def _build_parser() -> argparse.ArgumentParser:
     fault.add_argument("--gpu-slots", type=int, default=None,
                        help="GPU adapter slots (default: all adapters "
                             "resident; lower it to exercise swaps)")
+    overload = serve.add_argument_group(
+        "overload protection (docs/FAULTS.md; all default-off)"
+    )
+    overload.add_argument("--admission-rate", type=float, default=None,
+                          help="token-bucket admission rate in tokens "
+                               "(input+output) per second")
+    overload.add_argument("--admission-burst", type=float, default=None,
+                          help="token-bucket capacity (default: one second "
+                               "of refill)")
+    overload.add_argument("--admission-queue-limit", type=int, default=None,
+                          help="reject arrivals once this many requests "
+                               "are live in the engine")
+    overload.add_argument("--admission-kv-headroom", type=float, default=None,
+                          help="reject arrivals while the KV free-block "
+                               "fraction is below this floor")
+    overload.add_argument("--admission-slo-reject", action="store_true",
+                          help="reject deadline-carrying arrivals whose "
+                               "deadline is already unmeetable (needs "
+                               "--slo and --deadline-factor)")
+    overload.add_argument("--brownout", action="store_true",
+                          help="enable brownout degraded-service tiers "
+                               "(shed low priority, cap decodes, force "
+                               "merged mode)")
+    overload.add_argument("--brownout-queue-high", type=int, default=None,
+                          help="queue depth that counts as pressure 1.0 "
+                               "(default 64; implies --brownout)")
+    overload.add_argument("--breaker-cooldown", type=float, default=None,
+                          help="re-probe a quarantined adapter after this "
+                               "many seconds (default: quarantine is "
+                               "permanent)")
 
     compare = sub.add_parser(
         "compare", help="sweep request rates across all systems"
@@ -149,7 +182,8 @@ def _make_fault_injector(args) -> "Optional[object]":
     from repro.runtime.faults import FaultInjector
 
     rates = (args.swap_fail_rate, args.swap_slow_rate,
-             args.kv_pressure_rate, args.engine_slow_rate)
+             args.kv_pressure_rate, args.engine_slow_rate,
+             getattr(args, "burst_rate", 0.0))
     if all(r <= 0 for r in rates):
         return None
     adapter_ids = [f"lora-{i}" for i in range(args.adapters)]
@@ -164,7 +198,46 @@ def _make_fault_injector(args) -> "Optional[object]":
         swap_slow_rate=args.swap_slow_rate,
         kv_pressure_rate=args.kv_pressure_rate,
         engine_slow_rate=args.engine_slow_rate,
+        load_burst_rate=getattr(args, "burst_rate", 0.0),
     )
+
+
+def _make_overload_configs(args):
+    """(admission, brownout, breaker) configs from serve flags.
+
+    Raises ``ValueError`` on malformed knob values; all three are
+    ``None`` when no overload flag was given.
+    """
+    from repro.runtime.overload import (
+        AdmissionConfig,
+        BreakerConfig,
+        BrownoutConfig,
+    )
+
+    if args.admission_burst is not None and args.admission_rate is None:
+        raise ValueError("--admission-burst requires --admission-rate")
+    admission = None
+    if (args.admission_rate is not None
+            or args.admission_queue_limit is not None
+            or args.admission_kv_headroom is not None
+            or args.admission_slo_reject):
+        admission = AdmissionConfig(
+            rate_tokens_per_s=args.admission_rate,
+            burst_tokens=args.admission_burst,
+            max_queue_depth=args.admission_queue_limit,
+            min_kv_headroom=args.admission_kv_headroom,
+            slo_reject=args.admission_slo_reject,
+        )
+    brownout = None
+    if args.brownout or args.brownout_queue_high is not None:
+        if args.brownout_queue_high is not None:
+            brownout = BrownoutConfig(queue_high=args.brownout_queue_high)
+        else:
+            brownout = BrownoutConfig()
+    breaker = None
+    if args.breaker_cooldown is not None:
+        breaker = BreakerConfig(cooldown_s=args.breaker_cooldown)
+    return admission, brownout, breaker
 
 
 def _make_workload(args, system: str) -> list:
@@ -218,9 +291,15 @@ def cmd_serve(args) -> int:
               file=sys.stderr)
         return 2
     fault_rates = (args.swap_fail_rate, args.swap_slow_rate,
-                   args.kv_pressure_rate, args.engine_slow_rate)
+                   args.kv_pressure_rate, args.engine_slow_rate,
+                   args.burst_rate)
     if any(r < 0 for r in fault_rates):
         print("fault rates must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        admission, brownout, breaker = _make_overload_configs(args)
+    except ValueError as exc:
+        print(f"bad overload-protection flags: {exc}", file=sys.stderr)
         return 2
     if args.slo is not None and args.slo <= 0:
         print(f"--slo must be positive, got {args.slo}", file=sys.stderr)
@@ -233,13 +312,17 @@ def cmd_serve(args) -> int:
         print(f"--profile must be positive, got {args.profile}",
               file=sys.stderr)
         return 2
+    injector = _make_fault_injector(args)
     builder = SystemBuilder(model=get_model(args.model),
                             num_adapters=args.adapters,
                             gpu_adapter_slots=args.gpu_slots,
                             jitter_seed=args.seed,
-                            fault_injector=_make_fault_injector(args),
+                            fault_injector=injector,
                             deadline_slo_factor=args.deadline_factor,
-                            enable_cost_cache=not args.no_cost_cache)
+                            enable_cost_cache=not args.no_cost_cache,
+                            admission=admission,
+                            brownout=brownout,
+                            breaker=breaker)
     engine = builder.build(args.system)
     if args.trace_in:
         try:
@@ -252,6 +335,10 @@ def cmd_serve(args) -> int:
             return 2
     else:
         requests = _make_workload(args, args.system)
+    if injector is not None and injector.load_burst_windows():
+        from repro.workloads.burst import apply_load_bursts
+
+        requests = apply_load_bursts(requests, injector)
     if args.trace_out:
         save_trace(args.trace_out, requests)
         print(f"trace saved to {args.trace_out} ({len(requests)} requests)")

@@ -36,6 +36,11 @@ from repro.runtime.adapters import AdapterManager
 from repro.runtime.engine import EngineConfig, ServingEngine
 from repro.runtime.faults import FaultInjector
 from repro.runtime.memory import UnifiedMemoryManager
+from repro.runtime.overload import (
+    AdmissionConfig,
+    BreakerConfig,
+    BrownoutConfig,
+)
 from repro.runtime.scheduler import (
     DLoRAPolicy,
     MergedOnlyPolicy,
@@ -74,6 +79,11 @@ class SystemBuilder:
     #: Memoize iteration costs per batch signature (bit-identical
     #: results; ``False`` forces the reference cost path).
     enable_cost_cache: bool = True
+    #: Overload protection (all default-off; see
+    #: :mod:`repro.runtime.overload` and ``docs/FAULTS.md``).
+    admission: Optional[AdmissionConfig] = None
+    brownout: Optional[BrownoutConfig] = None
+    breaker: Optional[BreakerConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_adapters <= 0:
@@ -179,6 +189,9 @@ class SystemBuilder:
             tensor_parallel=self.tensor_parallel,
             deadline_slo_factor=self.deadline_slo_factor,
             enable_cost_cache=self.enable_cost_cache,
+            admission=self.admission,
+            brownout=self.brownout,
+            breaker=self.breaker,
         )
         cls = engine_cls if engine_cls is not None else ServingEngine
         return cls(

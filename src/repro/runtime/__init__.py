@@ -20,6 +20,9 @@ vLLM/LightLLM, driven by the analytical cost models:
 """
 
 from repro.runtime.request import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
     AbortReason,
     Request,
     RequestStatus,
@@ -39,6 +42,17 @@ from repro.runtime.scheduler import (
     SchedulingPolicy,
     UnmergedOnlyPolicy,
     VLoRAPolicy,
+)
+from repro.runtime.overload import (
+    AdapterBreaker,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionVerdict,
+    BreakerConfig,
+    BreakerState,
+    BrownoutConfig,
+    BrownoutController,
+    ReplicaHealth,
 )
 from repro.runtime.engine import EngineConfig, ServingEngine
 from repro.runtime.cluster import MultiGPUServer
@@ -73,6 +87,18 @@ __all__ = [
     "DLoRAPolicy",
     "MergedOnlyPolicy",
     "UnmergedOnlyPolicy",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PRIORITY_HIGH",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionVerdict",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BreakerConfig",
+    "BreakerState",
+    "AdapterBreaker",
+    "ReplicaHealth",
     "ServingEngine",
     "EngineConfig",
     "MultiGPUServer",

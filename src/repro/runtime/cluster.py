@@ -11,6 +11,14 @@ paper's future work — three dispatch policies are provided here:
 * ``adapter-affinity`` — pin each adapter's requests to a home replica
   (hashed), making every replica's workload maximally merge-friendly for
   Algorithm 1 at the cost of load imbalance under skew.
+
+All three policies route around *dead* replicas (an engine whose fault
+schedule has already killed it receives no fresh traffic — it would all
+come straight back as failover orphans), and, with ``health_aware=True``,
+also around *unhealthy* ones: each replica carries a health score
+(:meth:`~repro.runtime.engine.ServingEngine.health_snapshot` — death,
+EWMA iteration slowdown vs the median peer, queue depth) and dispatch
+avoids replicas scoring below ``health_floor``.
 """
 
 from __future__ import annotations
@@ -32,10 +40,22 @@ class MultiGPUServer:
     mid-run, :meth:`run` requeues its in-flight requests onto surviving
     engines (failover); with no survivors the orphans are aborted with
     ``AbortReason.ENGINE_FAILED``.
+
+    Failover requeue is *bounded*: ``max_requeues`` caps how many hosts
+    one request may lose before the cluster gives up on it
+    (``None`` = only bounded by the engine count, the legacy behavior),
+    and ``requeue_backoff_s`` spaces repeated requeues of the same
+    request out with capped exponential backoff so a cascading failure
+    does not instantly pile every orphan onto the next victim.
     """
 
     def __init__(self, engines: Sequence[ServingEngine],
-                 dispatch: str = "least-loaded"):
+                 dispatch: str = "least-loaded", *,
+                 health_aware: bool = False,
+                 health_floor: float = 0.25,
+                 max_requeues: Optional[int] = None,
+                 requeue_backoff_s: float = 0.0,
+                 requeue_backoff_cap_s: float = 5.0):
         if not engines:
             raise ValueError("need at least one engine")
         if dispatch not in DISPATCH_POLICIES:
@@ -43,8 +63,19 @@ class MultiGPUServer:
                 f"unknown dispatch {dispatch!r}; expected one of "
                 f"{DISPATCH_POLICIES}"
             )
+        if not 0.0 <= health_floor < 1.0:
+            raise ValueError(f"health_floor must be in [0, 1), got {health_floor}")
+        if max_requeues is not None and max_requeues < 1:
+            raise ValueError(f"max_requeues must be >= 1, got {max_requeues}")
+        if requeue_backoff_s < 0 or requeue_backoff_cap_s <= 0:
+            raise ValueError("requeue backoff times must be >= 0 / positive")
         self.engines = list(engines)
         self.dispatch = dispatch
+        self.health_aware = health_aware
+        self.health_floor = health_floor
+        self.max_requeues = max_requeues
+        self.requeue_backoff_s = requeue_backoff_s
+        self.requeue_backoff_cap_s = requeue_backoff_cap_s
         self._rr_next = 0
         #: Cluster-level events (failover, no-survivor aborts) that do
         #: not belong to any single replica's collector.
@@ -60,39 +91,107 @@ class MultiGPUServer:
     def num_gpus(self) -> int:
         return len(self.engines)
 
+    # -- health ------------------------------------------------------------------
+
+    def health_scores(self,
+                      engines: Optional[Sequence[ServingEngine]] = None,
+                      ) -> List[float]:
+        """Health score per replica in [0, 1] (0 = dead).
+
+        Slowdown is judged against the median peer EWMA so one straggler
+        cannot drag the whole cluster's reference point down with it.
+        """
+        engines = self.engines if engines is None else list(engines)
+        snaps = [e.health_snapshot() for e in engines]
+        ewmas = sorted(
+            s.iter_ewma for s in snaps if s.iter_ewma is not None
+        )
+        peer = None
+        if ewmas:
+            mid = len(ewmas) // 2
+            peer = (ewmas[mid] if len(ewmas) % 2
+                    else (ewmas[mid - 1] + ewmas[mid]) / 2.0)
+        queue_norm = max(4 * e.config.max_batch_size for e in engines)
+        return [s.score(peer, queue_norm=queue_norm) for s in snaps]
+
     # -- dispatch ----------------------------------------------------------------
+
+    def _routable(self, engines: Sequence[ServingEngine]):
+        """(allowed indices, scores) for dispatch over ``engines``.
+
+        Dead replicas are always excluded (their fault schedule already
+        killed them); ``health_aware`` additionally drops replicas below
+        ``health_floor``.  If exclusion would leave nothing routable the
+        full set is returned — dispatch must place every request
+        somewhere, and failover / no-survivor abort handles the rest.
+        """
+        scores = self.health_scores(engines)
+        dead = [e.health_snapshot().dead for e in engines]
+        allowed = [i for i in range(len(engines)) if not dead[i]]
+        if self.health_aware:
+            healthy = [i for i in allowed if scores[i] >= self.health_floor]
+            if healthy:
+                allowed = healthy
+        if not allowed:
+            allowed = list(range(len(engines)))
+        return allowed, scores
 
     def submit(self, requests: Sequence[Request]) -> None:
         """Dispatch each request to a replica per the configured policy."""
         ordered = sorted(requests, key=lambda q: (q.arrival_time,
                                                   q.request_id))
+        allowed, scores = self._routable(self.engines)
         if self.dispatch == "least-loaded":
-            self._submit_least_loaded(ordered)
+            self._submit_least_loaded(ordered, allowed, scores)
         elif self.dispatch == "round-robin":
-            self._submit_round_robin(ordered)
+            self._submit_round_robin(ordered, allowed)
         else:
-            self._submit_affinity(ordered)
+            self._submit_affinity(ordered, allowed)
 
-    def _submit_least_loaded(self, requests: Sequence[Request]) -> None:
+    def _submit_least_loaded(self, requests: Sequence[Request],
+                             allowed: List[int],
+                             scores: List[float]) -> None:
         # Load measured in queued decode rounds (a better proxy than
-        # request count when tasks differ in output length).
-        loads = [
-            sum(req.remaining for req in e.pending_requests)
-            for e in self.engines
-        ]
+        # request count when tasks differ in output length); with
+        # health_aware, load is inflated by 1/score so a straggling
+        # replica must be *much* emptier before it wins a request.
+        loads = {
+            i: sum(req.remaining for req in self.engines[i].pending_requests)
+            for i in allowed
+        }
         for r in requests:
-            i = loads.index(min(loads))
+            if self.health_aware:
+                i = min(allowed,
+                        key=lambda j: (loads[j] / max(scores[j], 1e-6), j))
+            else:
+                i = min(allowed, key=lambda j: (loads[j], j))
             self.engines[i].submit([r])
             loads[i] += r.remaining
 
-    def _submit_round_robin(self, requests: Sequence[Request]) -> None:
+    def _submit_round_robin(self, requests: Sequence[Request],
+                            allowed: List[int]) -> None:
+        allowed_set = set(allowed)
         for r in requests:
+            # Advance the cursor past excluded replicas; bounded by one
+            # full cycle since ``allowed`` is never empty.
+            for _ in range(self.num_gpus):
+                if self._rr_next % self.num_gpus in allowed_set:
+                    break
+                self._rr_next += 1
             self.engines[self._rr_next % self.num_gpus].submit([r])
             self._rr_next += 1
 
-    def _submit_affinity(self, requests: Sequence[Request]) -> None:
+    def _submit_affinity(self, requests: Sequence[Request],
+                         allowed: List[int]) -> None:
+        allowed_set = set(allowed)
         for r in requests:
             home = zlib.crc32(r.adapter_id.encode("utf-8")) % self.num_gpus
+            # Linear probe from the hashed home keeps each adapter's
+            # re-homed traffic together on the same fallback replica.
+            for _ in range(self.num_gpus):
+                if home in allowed_set:
+                    break
+                home = (home + 1) % self.num_gpus
             self.engines[home].submit([r])
 
     # -- execution ------------------------------------------------------------------
@@ -103,7 +202,10 @@ class MultiGPUServer:
         Engines run sequentially on independent sim clocks.  After each
         pass, requests stranded on failed engines are requeued onto
         survivors (which then resume); the loop is bounded because each
-        engine can fail at most once.
+        engine can fail at most once.  The returned collector folds the
+        cluster-level events (failover requeues, requeue-limit and
+        no-survivor aborts) in with every replica's metrics, so
+        ``summary()`` accounts for every submitted request.
         """
         for e in self.engines:
             e.run(until=until)
@@ -115,13 +217,16 @@ class MultiGPUServer:
             orphans: List[Request] = []
             for e in stranded:
                 orphans.extend(e.drain_orphans())
+            orphans = self._cap_requeues(orphans)
             if not survivors:
                 for r in orphans:
                     r.abort(r.arrival_time, AbortReason.ENGINE_FAILED)
                     self.cluster_metrics.record_abort(r)
                 break
-            self.cluster_metrics.failover_events += len(orphans)
-            self._failover_dispatch(orphans, survivors)
+            if orphans:
+                self._apply_requeue_backoff(orphans)
+                self.cluster_metrics.failover_events += len(orphans)
+                self._failover_dispatch(orphans, survivors)
             for e in survivors:
                 e.run(until=until)
         merged = MetricsCollector()
@@ -130,17 +235,52 @@ class MultiGPUServer:
             merged.merge_from(e.metrics)
         return merged
 
+    def _cap_requeues(self, orphans: List[Request]) -> List[Request]:
+        """Abort orphans that already burned their requeue budget."""
+        if self.max_requeues is None:
+            return orphans
+        kept: List[Request] = []
+        for r in orphans:
+            if r.requeues > self.max_requeues:
+                r.abort(r.arrival_time, AbortReason.ENGINE_FAILED)
+                self.cluster_metrics.record_abort(r)
+                self.cluster_metrics.requeue_limit_aborts += 1
+            else:
+                kept.append(r)
+        return kept
+
+    def _apply_requeue_backoff(self, orphans: Sequence[Request]) -> None:
+        """Space repeated requeues out with capped exponential backoff."""
+        if self.requeue_backoff_s <= 0:
+            return
+        for r in orphans:
+            delay = min(
+                self.requeue_backoff_s * 2 ** max(0, r.requeues - 1),
+                self.requeue_backoff_cap_s,
+            )
+            r.arrival_time += delay
+
     def _failover_dispatch(self, orphans: Sequence[Request],
                            survivors: Sequence[ServingEngine]) -> None:
-        """Least-loaded requeue of orphans onto surviving engines."""
-        loads = [
-            sum(req.remaining for req in e.pending_requests)
-            + len(e._active)
-            for e in survivors
-        ]
+        """Least-loaded requeue of orphans onto surviving engines.
+
+        With ``health_aware`` the same 1/score load inflation used at
+        submit time applies, steering orphans away from stragglers —
+        the replicas most likely to fail next.
+        """
+        allowed, scores = self._routable(survivors)
+        loads = {
+            i: sum(req.remaining for req in survivors[i].pending_requests)
+            + len(survivors[i]._active)
+            for i in allowed
+        }
         for r in sorted(orphans, key=lambda q: (q.arrival_time,
                                                 q.request_id)):
-            i = loads.index(min(loads))
+            if self.health_aware:
+                i = min(allowed,
+                        key=lambda j: (loads[j] / max(scores[j], 1e-6), j))
+            else:
+                i = min(allowed, key=lambda j: (loads[j], j))
             survivors[i].submit([r])
             loads[i] += r.remaining
 
@@ -151,8 +291,9 @@ class MultiGPUServer:
     @classmethod
     def replicate(cls, factory: Callable[[], ServingEngine],
                   num_gpus: int, dispatch: str = "least-loaded",
-                  ) -> "MultiGPUServer":
+                  **kwargs) -> "MultiGPUServer":
         """Build ``num_gpus`` identical engines from a factory."""
         if num_gpus <= 0:
             raise ValueError(f"num_gpus must be positive, got {num_gpus}")
-        return cls([factory() for _ in range(num_gpus)], dispatch=dispatch)
+        return cls([factory() for _ in range(num_gpus)], dispatch=dispatch,
+                   **kwargs)

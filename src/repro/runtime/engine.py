@@ -35,8 +35,19 @@ from repro.runtime.kv_cache import PagedKVCache
 from repro.runtime.memory import UnifiedMemoryManager
 from repro.runtime.metrics import MetricsCollector
 from repro.runtime.modes import InferenceMode, ModeExecutor
+from repro.runtime.overload import (
+    AdapterBreaker,
+    AdmissionConfig,
+    AdmissionController,
+    BreakerConfig,
+    BreakerState,
+    BrownoutConfig,
+    BrownoutController,
+    ReplicaHealth,
+)
 from repro.runtime.request import AbortReason, Request, RequestStatus
 from repro.runtime.scheduler import (
+    SchedulerDecision,
     SchedulingContext,
     SchedulingPolicy,
     pick_shed_victim,
@@ -77,6 +88,18 @@ class EngineConfig:
     #: results, large speedup).  ``False`` re-derives every iteration
     #: through the full cost-model tower (the reference path).
     enable_cost_cache: bool = True
+    # -- overload protection (all default off; see runtime/overload.py) ----
+    #: Admission control at the queue door: token-bucket rate limiting,
+    #: queue-depth / KV-headroom watermarks, SLO-aware early rejection.
+    #: ``None`` admits everything (legacy behavior).
+    admission: Optional[AdmissionConfig] = None
+    #: Brownout degraded-service tiers under sustained pressure.
+    #: ``None`` never degrades (legacy behavior).
+    brownout: Optional[BrownoutConfig] = None
+    #: Circuit-breaker recovery for failing adapters.  ``None`` keeps
+    #: the legacy permanent quarantine (a breaker that opens after
+    #: ``max_swap_retries`` failures and never half-opens).
+    breaker: Optional[BreakerConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -168,12 +191,29 @@ class ServingEngine:
         self.failed = False
         self.failed_at: Optional[float] = None
         self._kv_stalls = 0
-        self._swap_failures: Dict[str, int] = {}
         self._swap_backoff_until: Dict[str, float] = {}
         # Latest backoff expiry ever armed: once the clock passes it,
         # _schedulable skips the per-request backoff filter entirely.
         self._backoff_horizon = float("-inf")
-        self._quarantined: set = set()
+        # -- overload protection (runtime/overload.py) ---------------------
+        # Per-adapter circuit breakers, created lazily on first swap
+        # failure.  Without an explicit BreakerConfig an opened breaker
+        # never half-opens: exactly the legacy permanent quarantine
+        # after max_swap_retries consecutive failures.
+        self._breaker_config = config.breaker or BreakerConfig(
+            failure_threshold=config.max_swap_retries, cooldown_s=None,
+        )
+        self._breakers: Dict[str, AdapterBreaker] = {}
+        self._admission = (
+            AdmissionController(config.admission)
+            if config.admission is not None else None
+        )
+        self._brownout = (
+            BrownoutController(config.brownout)
+            if config.brownout is not None else None
+        )
+        #: EWMA of iteration wall time — the cluster's straggler signal.
+        self.iter_time_ewma: Optional[float] = None
         # -- memoized cost layer -------------------------------------------
         self.cost_cache: Optional[IterationCostCache] = (
             IterationCostCache(self.iter_costs, self.mode_exec,
@@ -253,6 +293,10 @@ class ServingEngine:
                 return
         if not self._active:
             return
+        if self._brownout is not None:
+            self._apply_brownout()
+            if not self._active:
+                return
 
         schedulable = self._schedulable()
         if not schedulable:
@@ -275,6 +319,12 @@ class ServingEngine:
         decision = self.policy.schedule(schedulable, ctx)
         if decision is None:
             return
+        if (self._brownout is not None and self._brownout.force_merged
+                and decision.mode is not InferenceMode.MERGED):
+            forced = self._force_merged_decision(schedulable)
+            if forced is not None:
+                decision = forced
+                self.metrics.brownout_forced_merges += 1
 
         mode, merged = decision.mode, decision.merged_adapter
         switch_s = self._apply_mode(mode, merged)
@@ -310,8 +360,9 @@ class ServingEngine:
             self.clock.advance(stall)
         for adapter_id in needed:
             if adapter_id not in failed_swaps:
-                self._swap_failures.pop(adapter_id, None)
                 self._swap_backoff_until.pop(adapter_id, None)
+                if self._breakers:
+                    self._record_swap_success(adapter_id)
         if failed_swaps:
             batch, mode, merged = self._handle_swap_failures(
                 batch, failed_swaps, mode, merged
@@ -328,6 +379,10 @@ class ServingEngine:
             )
         self.clock.advance(iteration_s)
         self._last_iteration_s = iteration_s
+        if self.iter_time_ewma is None:
+            self.iter_time_ewma = iteration_s
+        else:
+            self.iter_time_ewma += 0.2 * (iteration_s - self.iter_time_ewma)
         self._finalize(batch)
         self.metrics.iterations += 1
         self.metrics.count_mode(mode.value)
@@ -341,9 +396,11 @@ class ServingEngine:
         now = self.clock.now
         while self._pending and self._pending[0][0] <= now:
             _, _, req = heapq.heappop(self._pending)
-            if req.adapter_id in self._quarantined:
+            if self._breakers and not self._breaker_admits(req.adapter_id, now):
                 req.abort(now, AbortReason.ADAPTER_UNAVAILABLE)
                 self.metrics.record_abort(req)
+                continue
+            if self._admission is not None and self._reject_at_door(req, now):
                 continue
             key = (req.arrival_time, req.request_id)
             if key < self._last_admit_key:
@@ -370,6 +427,84 @@ class ServingEngine:
             self._adapter_counts[req.adapter_id] = count
         else:
             self._adapter_counts.pop(req.adapter_id, None)
+
+    # -- overload protection ------------------------------------------------------
+
+    def _breaker_admits(self, adapter_id: str, now: float) -> bool:
+        """Gate one arrival through the adapter's circuit breaker."""
+        breaker = self._breakers.get(adapter_id)
+        if breaker is None:
+            return True
+        was_open = breaker.state is BreakerState.OPEN
+        allowed = breaker.admit_allowed(now)
+        if was_open and breaker.state is BreakerState.HALF_OPEN:
+            self.metrics.breaker_half_opens += 1
+        return allowed
+
+    def _record_swap_success(self, adapter_id: str) -> None:
+        breaker = self._breakers.get(adapter_id)
+        if breaker is not None and breaker.record_success(self.clock.now):
+            self.metrics.breaker_closes += 1
+
+    def _reject_at_door(self, req: Request, now: float) -> bool:
+        """Apply admission control to one arrival; True when rejected.
+
+        Rejection happens before the request ever enters the active set:
+        no KV, no batch slot, no credit accrual — the cheapest possible
+        way to lose a request that was going to miss anyway.
+        """
+        verdict = self._admission.evaluate(
+            req, now,
+            queue_depth=len(self._active),
+            kv_free_frac=self.kv.free_blocks / self.kv.num_blocks,
+            est_iteration_s=self._last_iteration_s,
+            max_batch_size=self.config.max_batch_size,
+            deadline_s=self._effective_deadline(req),
+        )
+        if verdict is None:
+            return False
+        req.abort(now, AbortReason.ADMISSION_REJECTED)
+        self.metrics.record_abort(req)
+        self.metrics.admission_rejections += 1
+        return True
+
+    def _apply_brownout(self) -> None:
+        """Sample pressure, transition tiers, shed if in brownout."""
+        ctl = self._brownout
+        level = ctl.observe(
+            self.clock.now,
+            len(self._active),
+            self.kv.free_blocks / self.kv.num_blocks,
+        )
+        self.metrics.brownout_transitions = ctl.transitions
+        self.metrics.brownout_time_s = ctl.time_degraded
+        if level < 1:
+            return
+        excess = len(self._active) - ctl.config.queue_high
+        if excess <= 0:
+            return
+        waiting = [r for r in self._active.values() if not r.prefilled]
+        for victim in ctl.shed_victims(waiting, excess):
+            self._abort(victim, AbortReason.BROWNOUT_SHED)
+            self.metrics.brownout_sheds += 1
+
+    def _force_merged_decision(
+            self, schedulable: Sequence[Request]
+    ) -> Optional[SchedulerDecision]:
+        """Brownout level 3: run the hottest adapter merged, max batch."""
+        counts: Dict[str, int] = {}
+        for r in schedulable:
+            counts[r.adapter_id] = counts.get(r.adapter_id, 0) + 1
+        if not counts:
+            return None
+        top = min(counts, key=lambda a: (-counts[a], a))
+        batch = [r for r in schedulable if r.adapter_id == top]
+        batch = batch[: self.config.max_batch_size]
+        if not batch:
+            return None
+        return SchedulerDecision(
+            batch=batch, mode=InferenceMode.MERGED, merged_adapter=top
+        )
 
     # -- resilience -------------------------------------------------------------------
 
@@ -463,20 +598,25 @@ class ServingEngine:
 
         Requests whose adapter failed to become resident leave the batch
         (their fresh KV allocations are rolled back) and retry after a
-        capped exponential backoff; an adapter that keeps failing is
-        quarantined and its requests aborted.  When the *merged* target
-        itself failed, the surviving batch falls back to UNMERGED mode.
+        capped exponential backoff; an adapter that keeps failing trips
+        its circuit breaker (open: traffic aborted, then optionally
+        half-open probes after a cooldown — see runtime/overload.py).
+        When the *merged* target itself failed, the surviving batch
+        falls back to UNMERGED mode.
         """
         now = self.clock.now
         for adapter_id in failed:
-            count = self._swap_failures.get(adapter_id, 0) + 1
-            self._swap_failures[adapter_id] = count
+            breaker = self._breakers.get(adapter_id)
+            if breaker is None:
+                breaker = AdapterBreaker(adapter_id, self._breaker_config)
+                self._breakers[adapter_id] = breaker
             self.metrics.swap_retries += 1
-            if count > self.config.max_swap_retries:
-                self._quarantine(adapter_id)
+            if breaker.record_failure(now):
+                self._open_breaker(adapter_id)
             else:
                 backoff = min(
-                    self.config.swap_retry_base_s * 2 ** (count - 1),
+                    self.config.swap_retry_base_s
+                    * 2 ** (breaker.consecutive_failures - 1),
                     self.config.swap_retry_cap_s,
                 )
                 self._swap_backoff_until[adapter_id] = now + backoff
@@ -503,17 +643,26 @@ class ServingEngine:
                 self.metrics.mode_fallbacks += 1
         return kept, mode, merged
 
-    def _quarantine(self, adapter_id: str) -> None:
-        if adapter_id in self._quarantined:
-            return
-        self._quarantined.add(adapter_id)
+    def _open_breaker(self, adapter_id: str) -> None:
+        """The adapter's breaker just opened: fail its traffic fast.
+
+        Equivalent to the legacy quarantine (``adapters_quarantined``
+        keeps counting open events), except an open breaker can
+        half-open after its cooldown and serve again.
+        """
         self._swap_backoff_until.pop(adapter_id, None)
         self.metrics.adapters_quarantined += 1
+        self.metrics.breaker_opens += 1
         victims = [
             r for r in self._active.values() if r.adapter_id == adapter_id
         ]
         for r in victims:
             self._abort(r, AbortReason.ADAPTER_UNAVAILABLE)
+        if self._breaker_config.cooldown_s is not None:
+            # The breaker can half-open later: future arrivals stay
+            # queued and are gated per-arrival by _breaker_admits (the
+            # first one after cooldown is the probe).
+            return
         still_pending = []
         for entry in self._pending:
             r = entry[2]
@@ -589,6 +738,24 @@ class ServingEngine:
         self._active_in_order = True
         self._last_admit_key = (float("-inf"), -1)
         return orphans
+
+    def health_snapshot(self):
+        """This replica's :class:`~repro.runtime.overload.ReplicaHealth`.
+
+        Death counts both an observed failure (``failed``) and a fault
+        schedule that has already killed the engine at its current clock
+        (a pre-start ``ENGINE_FAIL``): dispatching to either loses the
+        request until failover requeues it.
+        """
+        dead = self.failed or (
+            self.faults is not None
+            and self.faults.engine_failed(self.engine_id, self.clock.now)
+        )
+        return ReplicaHealth(
+            dead=dead,
+            queue_depth=self.num_live,
+            iter_ewma=self.iter_time_ewma,
+        )
 
     def _estimate_switch(self) -> float:
         if self._switch_estimate is None:
@@ -915,6 +1082,10 @@ class ServingEngine:
 
     def _finalize(self, batch: Sequence[Request]) -> None:
         now = self.clock.now
+        # Brownout level >= 2 caps decode lengths: a capped request
+        # completes early with a truncated answer (degraded service)
+        # instead of holding its batch slot and KV for the full decode.
+        cap = self._brownout.decode_cap if self._brownout is not None else None
         finished: List[Request] = []
         for r in batch:
             if not r.prefilled:
@@ -924,7 +1095,9 @@ class ServingEngine:
             r.generated += 1
             if r.first_token_time is None:
                 r.first_token_time = now
-            if r.is_finished:
+            if r.is_finished or (cap is not None and r.generated >= cap):
+                if not r.is_finished:
+                    self.metrics.brownout_truncations += 1
                 r.finish_time = now
                 r.status = RequestStatus.FINISHED
                 finished.append(r)

@@ -40,6 +40,7 @@ class FaultKind(enum.Enum):
     KV_PRESSURE = "kv_pressure"               # magnitude fraction of blocks unusable
     ENGINE_FAIL = "engine_fail"               # engine dies at `start` (permanent)
     ENGINE_SLOW = "engine_slow"               # straggler: iterations magnitude× slower
+    LOAD_BURST = "load_burst"                 # arrivals magnitude× denser (overload)
 
 
 @dataclass(frozen=True)
@@ -66,7 +67,8 @@ class FaultSpec:
             raise ValueError(
                 f"KV_PRESSURE magnitude must be in [0, 1), got {self.magnitude}"
             )
-        if (self.kind in (FaultKind.ADAPTER_SWAP_SLOW, FaultKind.ENGINE_SLOW)
+        if (self.kind in (FaultKind.ADAPTER_SWAP_SLOW, FaultKind.ENGINE_SLOW,
+                          FaultKind.LOAD_BURST)
                 and self.magnitude < 1.0):
             raise ValueError(
                 f"{self.kind.value} magnitude must be >= 1, got {self.magnitude}"
@@ -149,6 +151,23 @@ class FaultInjector:
             factor *= s.magnitude
         return factor
 
+    def load_burst_factor(self, now: float) -> float:
+        """Arrival-density multiplier at ``now`` (worst active burst)."""
+        windows = self._active(FaultKind.LOAD_BURST, now, None)
+        if not windows:
+            return 1.0
+        return max(s.magnitude for s in windows)
+
+    def load_burst_windows(self) -> List[FaultSpec]:
+        """The scheduled ``LOAD_BURST`` windows (for workload shaping).
+
+        Load bursts are a *workload* fault: the injector schedules the
+        windows deterministically, and workload generators (see
+        :func:`repro.workloads.burst.apply_load_bursts`) densify the
+        arrival process inside them.
+        """
+        return [s for s in self.specs if s.kind is FaultKind.LOAD_BURST]
+
     # -- introspection -------------------------------------------------------
 
     def counts_by_kind(self) -> Dict[str, int]:
@@ -181,9 +200,11 @@ class FaultInjector:
         kv_pressure_rate: float = 0.0,
         engine_slow_rate: float = 0.0,
         engine_fail_rate: float = 0.0,
+        load_burst_rate: float = 0.0,
         swap_window_s: float = 0.25,
         kv_window_s: float = 1.0,
         straggler_window_s: float = 2.0,
+        burst_window_s: float = 2.0,
     ) -> "FaultInjector":
         """Poisson-schedule fault windows over ``[0, horizon_s)``.
 
@@ -222,6 +243,11 @@ class FaultInjector:
             specs.append(FaultSpec(
                 FaultKind.KV_PRESSURE, start, dur,
                 magnitude=float(rng.uniform(0.3, 0.9)),
+            ))
+        for start, dur in windows(load_burst_rate, burst_window_s):
+            specs.append(FaultSpec(
+                FaultKind.LOAD_BURST, start, dur,
+                magnitude=float(rng.uniform(3.0, 8.0)),
             ))
         for engine_id in engine_ids:
             for start, dur in windows(engine_slow_rate, straggler_window_s):

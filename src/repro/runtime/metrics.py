@@ -114,6 +114,17 @@ class MetricsCollector:
     kv_stall_iters: int = 0
     failover_events: int = 0
     engine_failures: int = 0
+    # -- overload protection (admission / brownout / breakers) -------------
+    admission_rejections: int = 0
+    brownout_sheds: int = 0
+    brownout_truncations: int = 0
+    brownout_forced_merges: int = 0
+    brownout_transitions: int = 0
+    brownout_time_s: float = 0.0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    requeue_limit_aborts: int = 0
     # -- cost-cache accounting (memoized iteration-cost layer) -------------
     cost_cache_hits: int = 0
     cost_cache_misses: int = 0
@@ -253,6 +264,16 @@ class MetricsCollector:
         self.kv_stall_iters += other.kv_stall_iters
         self.failover_events += other.failover_events
         self.engine_failures += other.engine_failures
+        self.admission_rejections += other.admission_rejections
+        self.brownout_sheds += other.brownout_sheds
+        self.brownout_truncations += other.brownout_truncations
+        self.brownout_forced_merges += other.brownout_forced_merges
+        self.brownout_transitions += other.brownout_transitions
+        self.brownout_time_s += other.brownout_time_s
+        self.breaker_opens += other.breaker_opens
+        self.breaker_half_opens += other.breaker_half_opens
+        self.breaker_closes += other.breaker_closes
+        self.requeue_limit_aborts += other.requeue_limit_aborts
         self.cost_cache_hits += other.cost_cache_hits
         self.cost_cache_misses += other.cost_cache_misses
 
@@ -285,8 +306,12 @@ class MetricsCollector:
             out[f"aborted_{reason}"] = float(count)
         for key in ("swap_retries", "adapters_quarantined", "mode_fallbacks",
                     "shed_events", "kv_stall_iters", "failover_events",
-                    "engine_failures", "cost_cache_hits",
-                    "cost_cache_misses"):
+                    "engine_failures", "admission_rejections",
+                    "brownout_sheds", "brownout_truncations",
+                    "brownout_forced_merges", "brownout_transitions",
+                    "brownout_time_s", "breaker_opens", "breaker_half_opens",
+                    "breaker_closes", "requeue_limit_aborts",
+                    "cost_cache_hits", "cost_cache_misses"):
             value = getattr(self, key)
             if value:
                 out[key] = float(value)

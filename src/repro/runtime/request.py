@@ -24,6 +24,14 @@ class AbortReason(enum.Enum):
     DEADLINE_EXCEEDED = "deadline_exceeded"   # missed its latency deadline
     ADAPTER_UNAVAILABLE = "adapter_unavailable"  # swap retries exhausted
     ENGINE_FAILED = "engine_failed"           # GPU died, no survivor took it
+    ADMISSION_REJECTED = "admission_rejected"  # turned away at the door
+    BROWNOUT_SHED = "brownout_shed"           # dropped by degraded-service tier
+
+
+#: Request priority classes (admission and brownout shed lowest first).
+PRIORITY_LOW = 0
+PRIORITY_NORMAL = 1
+PRIORITY_HIGH = 2
 
 
 _id_counter = itertools.count()
@@ -81,6 +89,11 @@ class Request:
     #: Optional hard deadline in seconds from arrival: the engine aborts
     #: the request (``AbortReason.DEADLINE_EXCEEDED``) once exceeded.
     deadline_s: Optional[float] = None
+    #: Priority class (``PRIORITY_LOW`` / ``PRIORITY_NORMAL`` /
+    #: ``PRIORITY_HIGH``): overload protection sheds and rejects lowest
+    #: priority first; values outside the named classes are allowed and
+    #: ordered numerically.
+    priority: int = PRIORITY_NORMAL
     request_id: int = field(default_factory=lambda: next(_id_counter))
 
     # -- progress (mutated by the engine) -----------------------------------
@@ -92,6 +105,8 @@ class Request:
     abort_time: Optional[float] = None
     abort_reason: Optional[AbortReason] = None
     credit: float = 0.0
+    #: How many times cluster failover has requeued this request.
+    requeues: int = 0
 
     def __post_init__(self) -> None:
         if self.input_tokens <= 0:
@@ -182,13 +197,16 @@ class Request:
         self.abort_time = now
         self.abort_reason = reason
 
-    def reset_for_requeue(self, now: float) -> None:
+    def reset_for_requeue(self, now: float, backoff_s: float = 0.0) -> None:
         """Rewind progress so a surviving engine can restart the request.
 
         Used by cluster failover: the dead engine's KV state is gone, so
         the request re-prefills from scratch.  Arrival is bumped to the
         failure time (latency for failed-over requests is measured from
-        requeue).
+        requeue), plus ``backoff_s`` when the cluster spaces repeated
+        requeues out.  Each call counts one failover hop in
+        ``requeues``; every other field resets idempotently, so a
+        request whose new host also dies can be drained again safely.
         """
         self.status = RequestStatus.WAITING
         self.prefilled = False
@@ -198,4 +216,5 @@ class Request:
         self.abort_time = None
         self.abort_reason = None
         self.credit = 0.0
-        self.arrival_time = max(self.arrival_time, now)
+        self.requeues += 1
+        self.arrival_time = max(self.arrival_time, now) + backoff_s

@@ -69,17 +69,21 @@ class SchedulerDecision:
 
 def pick_shed_victim(pool: Sequence[Request],
                      now: float) -> Optional[Request]:
-    """The cheapest request to abort under overload: lowest credit.
+    """The cheapest request to abort under overload.
 
-    Credit is the anti-starvation currency (§4.4.3): a low credit means
-    the request has waited least and loses least progress.  Policies
-    that do not maintain credits leave it at 0, so ties break toward the
-    youngest arrival (shed the newest work first, like S-LoRA's
-    early-abort admission control).
+    Lowest priority class goes first (overload protection's contract:
+    background work is shed before interactive work), then lowest
+    credit.  Credit is the anti-starvation currency (§4.4.3): a low
+    credit means the request has waited least and loses least progress.
+    Policies that do not maintain credits leave it at 0, so ties break
+    toward the youngest arrival (shed the newest work first, like
+    S-LoRA's early-abort admission control).  With every request at the
+    default priority the pick reduces to the legacy credit-keyed one.
     """
     if not pool:
         return None
-    return min(pool, key=lambda r: (r.credit, -r.arrival_time, -r.request_id))
+    return min(pool, key=lambda r: (r.priority, r.credit,
+                                    -r.arrival_time, -r.request_id))
 
 
 class SchedulingPolicy(abc.ABC):

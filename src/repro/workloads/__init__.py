@@ -9,9 +9,12 @@
   (VQA / captioning / referring expression).
 * :mod:`repro.workloads.skew` — adapter-popularity skew control used by
   Figs. 19 and 22.
+* :mod:`repro.workloads.burst` — deterministic load-burst shaping for
+  overload experiments (``FaultKind.LOAD_BURST``).
 """
 
 from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
+from repro.workloads.burst import apply_load_bursts
 from repro.workloads.diurnal import DiurnalPattern, diurnal_retrieval
 from repro.workloads.retrieval import RetrievalWorkload
 from repro.workloads.skew import skewed_adapter_sampler, zipf_shares
@@ -20,6 +23,7 @@ from repro.workloads.video import VideoAnalyticsWorkload
 __all__ = [
     "AzureTraceConfig",
     "AzureTraceGenerator",
+    "apply_load_bursts",
     "RetrievalWorkload",
     "VideoAnalyticsWorkload",
     "skewed_adapter_sampler",

@@ -1,0 +1,53 @@
+"""Load-burst shaping: densify arrivals inside ``LOAD_BURST`` windows.
+
+Overload is a *workload* fault: the engine never sees a "burst event",
+it just sees arrivals stacked far beyond the sustainable rate.  The
+fault injector schedules deterministic ``LOAD_BURST`` windows
+(:meth:`~repro.runtime.faults.FaultInjector.load_burst_windows`); this
+module reshapes an already-generated request list so that arrivals
+falling inside a window of magnitude ``m`` are time-compressed by
+``m×`` — the window's traffic lands in its first ``duration / m``
+seconds, driving the instantaneous arrival rate to ``m×`` the base rate
+while keeping the request population (counts, tokens, adapters, seeds)
+exactly the same as the un-burst run.
+
+The transform is deterministic, preserves arrival order, and never
+moves a request outside its window, so burst and no-burst runs stay
+request-for-request comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from repro.runtime.faults import FaultInjector, FaultKind, FaultSpec
+from repro.runtime.request import Request
+
+WindowSource = Union[FaultInjector, Iterable[FaultSpec]]
+
+
+def _burst_windows(source: WindowSource) -> List[FaultSpec]:
+    if isinstance(source, FaultInjector):
+        return source.load_burst_windows()
+    windows = [s for s in source if s.kind is FaultKind.LOAD_BURST]
+    return sorted(windows, key=lambda s: s.start)
+
+
+def apply_load_bursts(requests: Sequence[Request],
+                      source: WindowSource) -> List[Request]:
+    """Compress arrivals inside each ``LOAD_BURST`` window in place.
+
+    A request arriving at ``t`` inside window ``[s, s + d)`` with
+    magnitude ``m`` is moved to ``s + (t - s) / m``.  When windows
+    overlap, the densest (largest magnitude) one wins, matching
+    :meth:`FaultInjector.load_burst_factor`.  Returns the same request
+    objects sorted by the reshaped arrival times.
+    """
+    windows = _burst_windows(source)
+    for r in requests:
+        covering = [w for w in windows if w.active_at(r.arrival_time)]
+        if not covering:
+            continue
+        w = max(covering, key=lambda s: s.magnitude)
+        r.arrival_time = w.start + (r.arrival_time - w.start) / w.magnitude
+    return sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
