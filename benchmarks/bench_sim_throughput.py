@@ -176,6 +176,10 @@ def run_sweep_bench(duration_s: float = SWEEP_DURATION_S,
         },
         "speedup": round(serial_wall / parallel_wall, 2),
         "cells_identical": True,
+        # What the parallel=N request actually did (the runner
+        # auto-degrades to serial on single-CPU hosts / tiny grids).
+        "mode": parallel.metadata.get("mode"),
+        "degrade_reason": parallel.metadata.get("degrade_reason"),
     }
 
 
@@ -209,7 +213,8 @@ def _print_payload(payload: Dict[str, object]) -> None:
         print(f"  {name:<16} {wall:>8.2f}s  {rps:>9.1f} sim req/s")
     print(f"  speedup vs seed: {engine['speedup_vs_seed']}x "
           f"(metrics identical: {engine['metrics_identical']})")
-    print(f"sweep grid: {sweep['cells']} cells, parallel={sweep['parallel']}")
+    print(f"sweep grid: {sweep['cells']} cells, parallel={sweep['parallel']} "
+          f"(mode: {sweep['mode']})")
     print(f"  serial   {sweep['wall_seconds']['serial']:>8.2f}s")
     print(f"  parallel {sweep['wall_seconds']['parallel']:>8.2f}s")
     print(f"  speedup: {sweep['speedup']}x "

@@ -12,13 +12,25 @@ the main process in serial order (so global request ids match), each
 worker builds its own engine from the pickled builder with the same
 deterministic seeds, and any parallel failure falls back to running the
 pre-generated cells serially.
+
+Parallelism only pays when there are cores to spread over and enough
+cells to amortize worker startup: on a single-CPU machine the pool
+*loses* to serial (0.66x in BENCH_sim_throughput.json at
+``cpu_count: 1``), so ``run`` auto-degrades to the serial path when the
+machine has one effective CPU or the grid is tiny, and records the mode
+it actually used in :attr:`SweepResult.metadata`.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Grids smaller than this run serially even when ``parallel`` asks for a
+#: pool — worker spawn + pickling costs more than the cells themselves.
+MIN_PARALLEL_CELLS = 4
 
 from repro.core.builder import SystemBuilder
 from repro.runtime.metrics import MetricsCollector
@@ -54,6 +66,10 @@ class SweepResult:
     axis_name: str
     systems: List[str]
     cells: List[SweepCell] = field(default_factory=list)
+    #: Execution provenance: ``requested_parallel``, ``cpu_count``, the
+    #: ``mode`` actually used ("serial", "parallel", "serial-degraded",
+    #: "serial-fallback"), and ``degrade_reason`` when auto-degraded.
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def series(self, system: str, metric: str) -> Dict[object, float]:
         """metric values along the axis for one system."""
@@ -84,6 +100,14 @@ class SweepResult:
                 )
             rows.append(row)
         return rows
+
+
+def _effective_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def _run_sweep_cell(payload: Tuple[SystemBuilder, str, List[Request],
@@ -129,17 +153,44 @@ class SweepRunner:
         is identical to ``parallel=None`` down to the last float.  If the
         pool cannot be used (sandboxed interpreter, pickling failure,
         worker crash) the pre-generated cells run serially instead.
+
+        A pool is only actually spun up when it can win: with one
+        effective CPU or fewer than ``MIN_PARALLEL_CELLS`` cells the
+        request degrades to the serial path (the results are identical
+        either way).  ``result.metadata`` records what happened.
         """
         if not axis_values:
             raise ValueError("need at least one axis value")
         result = SweepResult(axis_name=axis_name, systems=self.systems)
+        cpu_count = _effective_cpu_count()
+        result.metadata = {
+            "requested_parallel": parallel,
+            "cpu_count": cpu_count,
+            "mode": "serial",
+        }
         if parallel is not None and parallel > 1:
-            cells = self._generate_cells(axis_name, axis_values,
-                                         workload_factory)
-            metrics_list = self._run_cells_parallel(cells, until, parallel)
-            for (value, system, _), metrics in zip(cells, metrics_list):
-                result.cells.append(SweepCell(value, system, metrics))
-            return result
+            num_cells = len(axis_values) * len(self.systems)
+            degrade_reason = None
+            if cpu_count <= 1:
+                degrade_reason = f"cpu_count={cpu_count}"
+            elif num_cells < MIN_PARALLEL_CELLS:
+                degrade_reason = (
+                    f"num_cells={num_cells} < {MIN_PARALLEL_CELLS}"
+                )
+            if degrade_reason is None:
+                cells = self._generate_cells(axis_name, axis_values,
+                                             workload_factory)
+                metrics_list, used_pool = self._run_cells_parallel(
+                    cells, until, parallel
+                )
+                result.metadata["mode"] = (
+                    "parallel" if used_pool else "serial-fallback"
+                )
+                for (value, system, _), metrics in zip(cells, metrics_list):
+                    result.cells.append(SweepCell(value, system, metrics))
+                return result
+            result.metadata["mode"] = "serial-degraded"
+            result.metadata["degrade_reason"] = degrade_reason
         for value in axis_values:
             for system in self.systems:
                 engine = self.builder.build(system)
@@ -181,13 +232,14 @@ class SweepRunner:
         cells: List[Tuple[object, str, List[Request]]],
         until: Optional[float],
         parallel: int,
-    ) -> List[MetricsCollector]:
+    ) -> Tuple[List[MetricsCollector], bool]:
+        """Run pre-generated cells on a pool; returns (metrics, used_pool)."""
         payloads = [(self.builder, system, requests, until)
                     for _, system, requests in cells]
         try:
             with ProcessPoolExecutor(max_workers=parallel) as pool:
-                return list(pool.map(_run_sweep_cell, payloads))
+                return list(pool.map(_run_sweep_cell, payloads)), True
         except Exception:
             # Identical results guaranteed: same requests (workers only
             # saw pickled copies), same builder, fresh engine per cell.
-            return [_run_sweep_cell(payload) for payload in payloads]
+            return [_run_sweep_cell(payload) for payload in payloads], False

@@ -24,10 +24,17 @@ from repro.kernels.tiling import (
     PUNICA_CONFIG,
     SLORA_CONFIG,
     TilingConfig,
+    TilingConfigSpace,
     enumerate_configs,
 )
 from repro.kernels.cost_model import GemmCostModel, KernelLaunch
-from repro.kernels.search import OptimalTilingTable, TilingSearch, shape_key
+from repro.kernels.search import (
+    OptimalTilingTable,
+    TilingSearch,
+    default_table,
+    shape_key,
+)
+from repro.kernels.store import KernelTableStore, table_fingerprint
 from repro.kernels.atmm import ATMMOperator
 from repro.kernels.baseline_ops import (
     EinsumOperator,
@@ -42,6 +49,7 @@ __all__ = [
     "GroupedGemm",
     "lora_gemm_shapes",
     "TilingConfig",
+    "TilingConfigSpace",
     "enumerate_configs",
     "PUNICA_CONFIG",
     "SLORA_CONFIG",
@@ -51,6 +59,9 @@ __all__ = [
     "KernelLaunch",
     "TilingSearch",
     "OptimalTilingTable",
+    "default_table",
+    "KernelTableStore",
+    "table_fingerprint",
     "shape_key",
     "ATMMOperator",
     "LoRAOperator",

@@ -85,7 +85,7 @@ class ATMMOperator(LoRAOperator):
                                           cost_model=self.cost_model,
                                           coarse=True)
         shape = GemmShape(bucket_m(m), k, n)
-        cfg, lat = self._searcher.profile_shape(shape)
+        cfg, lat = self._searcher.profile_shape_vectorized(shape)
         self.table.insert(shape_key(shape.m, shape.k, shape.n), cfg, lat)
 
     # -- LoRAOperator API -------------------------------------------------------

@@ -32,11 +32,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from repro.hardware.gpu import GPUSpec
 from repro.hardware.memory import FP16_BYTES
 from repro.kernels.shapes import GemmShape, GroupedGemm
-from repro.kernels.tiling import TilingConfig
+from repro.kernels.tiling import TilingConfig, TilingConfigSpace
+
+#: Bump whenever any latency formula or model constant changes meaning.
+#: Part of the persistent kernel-table fingerprint: a table profiled
+#: under an older model version must be re-searched, not served.
+COST_MODEL_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -118,7 +126,10 @@ class GemmCostModel:
         Scales sub-linearly up to :data:`WARPS_FOR_PEAK` warps (diminishing
         returns from dual-issue and latency hiding), capped at 1.
         """
-        frac = cfg.warps_per_block / self.WARPS_FOR_PEAK
+        return self._warp_efficiency_from_count(cfg.warps_per_block)
+
+    def _warp_efficiency_from_count(self, warps_per_block: int) -> float:
+        frac = warps_per_block / self.WARPS_FOR_PEAK
         if frac >= 1.0:
             return 1.0
         return max(self.MIN_WARP_EFFICIENCY, frac ** 0.7)
@@ -193,6 +204,116 @@ class GemmCostModel:
             else self.overlap_residual_single
         )
         return max(c, m) + residual * min(c, m)
+
+    def version_fingerprint(self) -> dict:
+        """The model parameters a profiled table depends on.
+
+        Part of the persistent kernel-table store key: changing any of
+        these (or bumping :data:`COST_MODEL_VERSION` after a formula
+        change) invalidates every stored table built before it.
+        """
+        return {
+            "version": COST_MODEL_VERSION,
+            "mem_efficiency": self.mem_efficiency,
+            "tensor_core_efficiency": self.tensor_core_efficiency,
+            "cuda_core_efficiency": self.cuda_core_efficiency,
+            "overlap_residual": self.overlap_residual,
+            "overlap_residual_single": self.overlap_residual_single,
+            "kstep_overhead_cycles": self.KSTEP_OVERHEAD_CYCLES,
+            "warps_for_peak": self.WARPS_FOR_PEAK,
+            "min_warp_efficiency": self.MIN_WARP_EFFICIENCY,
+        }
+
+    def gemm_seconds_batch(
+        self,
+        shapes: Sequence[GemmShape],
+        configs: Union[TilingConfigSpace, Sequence[TilingConfig]],
+        config_idx: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """In-kernel latency for the whole ``shapes x configs`` grid.
+
+        Vectorized twin of :meth:`gemm_seconds`: returns a float64 array
+        of shape ``(len(shapes), n_configs)`` whose every cell is
+        **bit-identical** to the scalar evaluation (property-tested in
+        ``tests/kernels/test_search_vectorized.py``).  Bit-identity
+        holds because each scalar arithmetic step maps 1:1 onto an array
+        op in the same order: all block/byte counts stay exact in int64
+        (well under 2^53, so int->float conversion at the division sites
+        rounds identically to CPython), and the per-config scalars that
+        involve transcendental math (``warp_efficiency``'s power) are
+        computed per distinct warp count with ordinary Python floats and
+        broadcast.
+
+        Parameters
+        ----------
+        shapes:
+            Problems to evaluate (rows).
+        configs:
+            A :class:`~repro.kernels.tiling.TilingConfigSpace` or an
+            explicit configuration sequence (columns).
+        config_idx:
+            Optional row indices restricting ``configs`` to a subset —
+            used by the search's dominance pruning to sweep survivors
+            without rebuilding column arrays.
+        """
+        if not isinstance(configs, TilingConfigSpace):
+            configs = TilingConfigSpace.from_configs(configs)
+        gpu = self.gpu
+        sms = gpu.num_sms
+
+        m = np.array([p.m for p in shapes], dtype=np.int64)[:, None]
+        k = np.array([p.k for p in shapes], dtype=np.int64)[:, None]
+        n = np.array([p.n for p in shapes], dtype=np.int64)[:, None]
+
+        def col(a: np.ndarray) -> np.ndarray:
+            return (a if config_idx is None else a[config_idx])[None, :]
+
+        bm, bk, bn = col(configs.bm), col(configs.bk), col(configs.bn)
+        wk = col(configs.wk)
+        split_k = col(configs.split_k)
+        smem = col(configs.smem_tile_bytes)
+        warps = col(configs.warps_per_block)
+        tc = col(configs.tensor_cores)
+        db = col(configs.double_buffered)
+
+        # Per-config model scalars, computed with Python floats exactly
+        # as the scalar path does, then broadcast.
+        eff = np.empty(warps.shape, dtype=np.float64)
+        for w in np.unique(warps):
+            eff[warps == w] = self._warp_efficiency_from_count(int(w))
+        base_tensor = gpu.tensor_flops * self.tensor_core_efficiency
+        base_cuda = gpu.cuda_flops * self.cuda_core_efficiency
+        core_peak = np.where(tc, base_tensor, base_cuda) * eff
+        cycles = self.KSTEP_OVERHEAD_CYCLES * np.where(db, 1.0, 2.0)
+        residual = np.where(
+            db, self.overlap_residual, self.overlap_residual_single
+        )
+
+        # -- geometry (exact int64, mirrors num_blocks/sm_utilization) --
+        bmbn = bm * bn
+        blocks = (-(-m // bm)) * (-(-n // bn)) * split_k
+        waves = -(-blocks // sms)
+        util = blocks / (waves * sms)
+        k_per_split = -(-k // split_k)
+        ksteps = -(-k_per_split // bk)
+
+        # -- _compute_seconds ------------------------------------------
+        padded_flops = blocks * bmbn * (ksteps * bk) * 2
+        math_time = padded_flops / (core_peak * util)
+        iters = -(-k_per_split // wk)
+        kstep_overhead = iters * cycles / (gpu.sm_clock_ghz * 1e9)
+        compute = math_time + kstep_overhead * blocks / (sms * util)
+
+        # -- _memory_seconds -------------------------------------------
+        load_bytes = blocks * ksteps * smem
+        out_bytes = blocks * bmbn * FP16_BYTES
+        grid = blocks // split_k
+        split_out = (grid * bmbn * 4) * split_k * 2 + out_bytes
+        total_bytes = load_bytes + np.where(split_k > 1, split_out, out_bytes)
+        memory = total_bytes / (gpu.hbm_bytes_per_s * self.mem_efficiency)
+
+        return (np.maximum(compute, memory)
+                + residual * np.minimum(compute, memory))
 
     def launch_seconds(self, num_launches: int = 1) -> float:
         """Host-side launch overhead for ``num_launches`` kernels."""

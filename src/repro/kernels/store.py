@@ -1,0 +1,203 @@
+"""Persistent on-disk store for ATMM tiling tables.
+
+The paper amortizes the offline profile search by shipping an
+ahead-of-time compiled kernel set (§5); here the analogue is a versioned
+cache directory of searched tiling tables.  A table file is keyed by a
+fingerprint over everything that determines its contents:
+
+* the full :class:`~repro.hardware.gpu.GPUSpec` (not just the name — a
+  custom spec with, say, fewer SMs must not alias a registry GPU);
+* the search inputs (hidden dims, ranks, ``max_m``, ``coarse``);
+* the cost-model version fingerprint (formula constants) and the
+  configuration-space fingerprint (enumeration bounds);
+* the store format version.
+
+Any change to the cost model, the search space, or the on-disk layout
+changes the fingerprint, so stale tables are simply never looked up —
+and a file whose recorded fingerprint or version disagrees with its
+filename (hand-edited, truncated, corrupted) loads as a miss, never an
+error.  Writes are atomic (temp file + ``os.replace``) so concurrent
+processes cannot observe a half-written table.
+
+The store is **opt-in**: :func:`resolve_store_dir` returns ``None``
+unless a directory is passed explicitly or the ``REPRO_KERNEL_STORE_DIR``
+environment variable is set, so library use never writes outside paths
+the user chose.  The ``repro kernels search`` CLI defaults to the
+per-user cache directory (:func:`default_user_store_dir`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import List, Optional, Sequence, Union
+
+from repro.hardware.gpu import GPUSpec
+from repro.kernels.cost_model import GemmCostModel
+from repro.kernels.search import OptimalTilingTable
+from repro.kernels.tiling import search_space_fingerprint
+
+#: Bump to invalidate every previously written store file.
+STORE_FORMAT_VERSION = 1
+
+#: Environment variable that opts library code (``default_table``) into
+#: the persistent store.
+ENV_STORE_DIR = "REPRO_KERNEL_STORE_DIR"
+
+
+def default_user_store_dir() -> pathlib.Path:
+    """Per-user cache directory for prebuilt tables (XDG-aware)."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro" / "kernel-tables"
+
+
+def resolve_store_dir(
+    explicit: Optional[Union[str, pathlib.Path]] = None,
+) -> Optional[pathlib.Path]:
+    """Resolve the store directory, or ``None`` when the store is off.
+
+    Precedence: explicit argument, then ``REPRO_KERNEL_STORE_DIR``.  An
+    empty string in either place disables the store.
+    """
+    if explicit is not None:
+        return pathlib.Path(explicit) if str(explicit) else None
+    env = os.environ.get(ENV_STORE_DIR)
+    if env:
+        return pathlib.Path(env)
+    return None
+
+
+def table_fingerprint(
+    gpu: GPUSpec,
+    hidden_dims: Sequence[int],
+    ranks: Sequence[int],
+    max_m: int,
+    coarse: bool,
+    cost_model: Optional[GemmCostModel] = None,
+) -> str:
+    """Content fingerprint for a searched table (hex, 16 chars).
+
+    Two searches share a fingerprint iff they are guaranteed to produce
+    the same table.
+    """
+    model = cost_model or GemmCostModel(gpu)
+    doc = {
+        "store_version": STORE_FORMAT_VERSION,
+        "table_format": OptimalTilingTable.FORMAT_VERSION,
+        "gpu": dataclasses.asdict(gpu),
+        "hidden_dims": sorted(int(d) for d in hidden_dims),
+        "ranks": sorted(int(r) for r in ranks),
+        "max_m": int(max_m),
+        "coarse": bool(coarse),
+        "cost_model": model.version_fingerprint(),
+        "search_space": search_space_fingerprint(),
+    }
+    blob = json.dumps(doc, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class KernelTableStore:
+    """Directory of fingerprint-keyed tiling-table files."""
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+
+    def path_for(self, fingerprint: str) -> pathlib.Path:
+        return self.root / f"table-{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> Optional[OptimalTilingTable]:
+        """Load a stored table, or ``None`` on any kind of miss.
+
+        Missing file, unreadable JSON, wrong store version, fingerprint
+        mismatch, and malformed payloads are all treated identically: a
+        cache miss.  The caller searches and overwrites.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("store_version") != STORE_FORMAT_VERSION:
+            return None
+        if doc.get("fingerprint") != fingerprint:
+            return None
+        payload = doc.get("table")
+        if not isinstance(payload, dict):
+            return None
+        try:
+            return OptimalTilingTable.from_payload(payload)
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+
+    def save(
+        self,
+        fingerprint: str,
+        table: OptimalTilingTable,
+        meta: Optional[dict] = None,
+    ) -> pathlib.Path:
+        """Atomically persist a table under its fingerprint.
+
+        The document embeds the fingerprint and store version so a
+        renamed or stale file is rejected at load time.  ``meta`` is
+        free-form provenance (GPU name, dims, ...) for ``kernels
+        inspect``; it does not affect loading.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "store_version": STORE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "meta": meta or {},
+            "table": table.to_payload(),
+        }
+        path = self.path_for(fingerprint)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=f".{fingerprint}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> List[dict]:
+        """Describe every readable table file in the store (for CLI)."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("table-*.json")):
+            info = {
+                "path": str(path),
+                "fingerprint": path.stem.replace("table-", "", 1),
+                "size_bytes": path.stat().st_size,
+            }
+            try:
+                with open(path) as fh:
+                    doc = json.load(fh)
+                info["store_version"] = doc.get("store_version")
+                info["meta"] = doc.get("meta", {})
+                table = doc.get("table", {})
+                info["num_entries"] = len(table.get("entries", []))
+                info["num_configs"] = len(table.get("configs", []))
+                info["stale"] = (
+                    doc.get("store_version") != STORE_FORMAT_VERSION
+                    or doc.get("fingerprint") != info["fingerprint"]
+                )
+            except (OSError, ValueError):
+                info["stale"] = True
+                info["error"] = "unreadable"
+            out.append(info)
+        return out

@@ -17,7 +17,9 @@ shapes of the decode stage, at the price of extra reduction traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.hardware.gpu import GPUSpec
 from repro.hardware.memory import FP16_BYTES, MemoryHierarchy
@@ -186,6 +188,198 @@ def enumerate_configs(
         if cfg.is_valid_for(gpu):
             out.append(cfg)
     return out
+
+
+def canonical_key(cfg: TilingConfig) -> Tuple[int, ...]:
+    """Total order over configurations matching the enumeration order.
+
+    ``enumerate_configs`` already yields configurations in this order;
+    the explicit key exists so every consumer (the scalar argmin, the
+    vectorized argmin, and reloaded tables) can *assert* a stable
+    ordering rather than rely on enumeration happening to be sorted.
+    Ties in the cost model are broken by the first configuration under
+    this order.
+    """
+    return (
+        cfg.bm, cfg.bk, cfg.bn, cfg.wm, cfg.wk, cfg.wn,
+        0 if cfg.tensor_cores else 1,
+        cfg.split_k,
+        0 if cfg.double_buffered else 1,
+    )
+
+
+#: Bump when the enumeration rules or dimension menus change, so
+#: persisted kernel tables built against the old space are invalidated.
+SEARCH_SPACE_VERSION = 1
+
+
+def search_space_fingerprint() -> dict:
+    """The enumeration parameters that define the search space.
+
+    Part of the persistent kernel-table store key: a store file built
+    against a different space (or different validity rules) must never
+    be served.
+    """
+    return {
+        "version": SEARCH_SPACE_VERSION,
+        "min_tile": MIN_TILE,
+        "max_warps_per_block": MAX_WARPS_PER_BLOCK,
+        "block_dims": list(_BLOCK_DIMS),
+        "warp_dims": list(_WARP_DIMS),
+        "split_ks": list(_SPLIT_KS),
+    }
+
+
+class TilingConfigSpace:
+    """Struct-of-arrays view of a set of tiling configurations.
+
+    The vectorized search sweeps thousands of configurations per shape;
+    materializing a :class:`TilingConfig` per candidate (with its
+    ``__post_init__`` validation) dominated the seed's ahead-of-time
+    cost.  This class keeps the whole space as parallel numpy columns —
+    in the same canonical order as :func:`enumerate_configs` — and only
+    materializes ``TilingConfig`` objects for winners, on demand.
+    """
+
+    _COLUMNS = ("bm", "bk", "bn", "wm", "wk", "wn", "split_k")
+
+    def __init__(
+        self,
+        bm: np.ndarray, bk: np.ndarray, bn: np.ndarray,
+        wm: np.ndarray, wk: np.ndarray, wn: np.ndarray,
+        split_k: np.ndarray,
+        tensor_cores: np.ndarray,
+        double_buffered: np.ndarray,
+    ):
+        self.bm = bm
+        self.bk = bk
+        self.bn = bn
+        self.wm = wm
+        self.wk = wk
+        self.wn = wn
+        self.split_k = split_k
+        self.tensor_cores = tensor_cores
+        self.double_buffered = double_buffered
+        lengths = {len(a) for a in self._arrays()}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+        self._config_cache: dict = {}
+
+    def _arrays(self) -> Tuple[np.ndarray, ...]:
+        return (self.bm, self.bk, self.bn, self.wm, self.wk, self.wn,
+                self.split_k, self.tensor_cores, self.double_buffered)
+
+    def __len__(self) -> int:
+        return len(self.bm)
+
+    # -- derived columns ----------------------------------------------------
+
+    @property
+    def warps_per_block(self) -> np.ndarray:
+        return (self.bm // self.wm) * (self.bn // self.wn)
+
+    @property
+    def smem_tile_bytes(self) -> np.ndarray:
+        return FP16_BYTES * (self.bm * self.bk + self.bk * self.bn)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def enumerate_space(
+        cls,
+        gpu: GPUSpec,
+        include_split_k: bool = True,
+        tensor_cores: Optional[bool] = None,
+    ) -> "TilingConfigSpace":
+        """Vectorized equivalent of :func:`enumerate_configs`.
+
+        Produces the identical configuration sequence (asserted by
+        tests) without constructing the intermediate objects: candidate
+        tuples come from the same nested loops, the shared-memory and
+        register-file validity rules are applied as array masks.
+        """
+        core_options = (True, False) if tensor_cores is None else (tensor_cores,)
+        split_options = _SPLIT_KS if include_split_k else (1,)
+        rows: List[Tuple[int, int, int, int, int, int, int, bool]] = []
+        for bm in _BLOCK_DIMS:
+            for bk in _BLOCK_DIMS:
+                for bn in _BLOCK_DIMS:
+                    for wm in _WARP_DIMS:
+                        if wm > bm or bm % wm:
+                            continue
+                        for wk in _WARP_DIMS:
+                            if wk > bk or bk % wk:
+                                continue
+                            for wn in _WARP_DIMS:
+                                if wn > bn or bn % wn:
+                                    continue
+                                if (bm // wm) * (bn // wn) > MAX_WARPS_PER_BLOCK:
+                                    continue
+                                for tc in core_options:
+                                    for sk in split_options:
+                                        rows.append(
+                                            (bm, bk, bn, wm, wk, wn, sk, tc)
+                                        )
+        if not rows:
+            return cls(*(np.empty(0, dtype=np.int64) for _ in range(7)),
+                       np.empty(0, dtype=bool), np.empty(0, dtype=bool))
+        cols = np.array([r[:7] for r in rows], dtype=np.int64).T
+        tc_col = np.array([r[7] for r in rows], dtype=bool)
+        db_col = np.ones(len(rows), dtype=bool)
+        space = cls(*cols, tc_col, db_col)
+        # Hardware validity (TilingConfig.is_valid_for), vectorized.
+        # Enumeration always builds double-buffered kernels, so both
+        # capacity checks reserve twice the working set.
+        smem_ok = space.smem_tile_bytes * 2 <= gpu.shared_mem_per_sm_bytes
+        regfile_warp_bytes = (
+            4 * space.wm * space.wn
+            + FP16_BYTES * (space.wm * space.wk + space.wk * space.wn)
+        )
+        regfile_ok = (
+            regfile_warp_bytes * space.warps_per_block * 2
+            <= gpu.register_file_per_sm_bytes
+        )
+        return space.select(smem_ok & regfile_ok)
+
+    @classmethod
+    def from_configs(cls, configs: Sequence[TilingConfig]) -> "TilingConfigSpace":
+        """Column view of an explicit configuration list (order preserved)."""
+        configs = list(configs)
+        def col(attr, dtype):
+            return np.array([getattr(c, attr) for c in configs], dtype=dtype)
+        space = cls(
+            col("bm", np.int64), col("bk", np.int64), col("bn", np.int64),
+            col("wm", np.int64), col("wk", np.int64), col("wn", np.int64),
+            col("split_k", np.int64),
+            col("tensor_cores", bool), col("double_buffered", bool),
+        )
+        space._config_cache = dict(enumerate(configs))
+        return space
+
+    def select(self, mask_or_index: np.ndarray) -> "TilingConfigSpace":
+        """Sub-space keeping only the masked/indexed rows, order preserved."""
+        return TilingConfigSpace(*(a[mask_or_index] for a in self._arrays()))
+
+    # -- materialization ----------------------------------------------------
+
+    def config(self, i: int) -> TilingConfig:
+        """Materialize (and cache) the i-th configuration."""
+        i = int(i)
+        cfg = self._config_cache.get(i)
+        if cfg is None:
+            cfg = TilingConfig(
+                bm=int(self.bm[i]), bk=int(self.bk[i]), bn=int(self.bn[i]),
+                wm=int(self.wm[i]), wk=int(self.wk[i]), wn=int(self.wn[i]),
+                split_k=int(self.split_k[i]),
+                double_buffered=bool(self.double_buffered[i]),
+                tensor_cores=bool(self.tensor_cores[i]),
+            )
+            self._config_cache[i] = cfg
+        return cfg
+
+    def configs(self) -> List[TilingConfig]:
+        """Materialize the full list (the scalar search path uses this)."""
+        return [self.config(i) for i in range(len(self))]
 
 
 def _enumerate_raw(core_options, split_options) -> Iterator[TilingConfig]:

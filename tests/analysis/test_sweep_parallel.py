@@ -55,13 +55,17 @@ class TestParallelSweep:
                 raise OSError("no processes in this sandbox")
 
         monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", BrokenPool)
+        # Force past auto-degrade so the broken pool is actually tried.
+        monkeypatch.setattr(sweep_mod, "_effective_cpu_count", lambda: 4)
         builder = SystemBuilder(num_adapters=4)
         runner = SweepRunner(builder, systems=("v-lora",))
         reset_request_ids()
-        fell_back = runner.run("rate", [3.0], _factory, parallel=4)
+        fell_back = runner.run("rate", [3.0, 4.0, 5.0, 6.0], _factory,
+                               parallel=4)
+        assert fell_back.metadata["mode"] == "serial-fallback"
         monkeypatch.undo()
         reset_request_ids()
-        serial = runner.run("rate", [3.0], _factory)
+        serial = runner.run("rate", [3.0, 4.0, 5.0, 6.0], _factory)
         assert _snapshot(fell_back) == _snapshot(serial)
 
     def test_empty_workload_still_rejected(self):
@@ -69,6 +73,63 @@ class TestParallelSweep:
                              systems=("v-lora",))
         with pytest.raises(ValueError, match="no requests"):
             runner.run("rate", [3.0], lambda v, s: [], parallel=2)
+
+
+class TestAutoDegrade:
+    """parallel=N quietly runs serial when a pool cannot win."""
+
+    def _runner(self):
+        return SweepRunner(SystemBuilder(num_adapters=4),
+                           systems=("v-lora", "s-lora"))
+
+    def test_single_cpu_degrades_to_serial(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_effective_cpu_count", lambda: 1)
+
+        def no_pool(*a, **k):
+            raise AssertionError("pool must not be created on 1 CPU")
+
+        monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", no_pool)
+        reset_request_ids()
+        result = self._runner().run("rate", [3.0, 6.0], _factory, parallel=4)
+        assert result.metadata["mode"] == "serial-degraded"
+        assert result.metadata["degrade_reason"] == "cpu_count=1"
+        assert result.metadata["requested_parallel"] == 4
+        assert len(result.cells) == 4
+
+    def test_tiny_grid_degrades_to_serial(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_effective_cpu_count", lambda: 8)
+
+        def no_pool(*a, **k):
+            raise AssertionError("pool must not be created for a tiny grid")
+
+        monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", no_pool)
+        reset_request_ids()
+        result = self._runner().run("rate", [3.0], _factory, parallel=4)
+        assert result.metadata["mode"] == "serial-degraded"
+        assert "num_cells=2" in result.metadata["degrade_reason"]
+
+    def test_degraded_results_equal_serial(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_effective_cpu_count", lambda: 1)
+        reset_request_ids()
+        degraded = self._runner().run("rate", [3.0, 6.0], _factory,
+                                      parallel=4)
+        reset_request_ids()
+        serial = self._runner().run("rate", [3.0, 6.0], _factory)
+        assert serial.metadata["mode"] == "serial"
+        assert _snapshot(degraded) == _snapshot(serial)
+
+    def test_serial_run_records_metadata(self):
+        reset_request_ids()
+        result = self._runner().run("rate", [3.0], _factory)
+        assert result.metadata["mode"] == "serial"
+        assert result.metadata["requested_parallel"] is None
+        assert result.metadata["cpu_count"] >= 1
 
 
 class TestTableIndex:

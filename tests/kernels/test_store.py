@@ -1,0 +1,262 @@
+"""Persistent kernel-table store: fingerprints, atomicity, invalidation."""
+
+import dataclasses
+import json
+import math
+import threading
+
+import pytest
+
+from repro.hardware import A100_80GB
+from repro.hardware.gpu import get_gpu
+from repro.kernels import GemmCostModel
+from repro.kernels.search import (
+    OptimalTilingTable,
+    TilingSearch,
+    clear_table_cache,
+    default_table,
+    shape_key,
+)
+from repro.kernels.store import (
+    ENV_STORE_DIR,
+    KernelTableStore,
+    default_user_store_dir,
+    resolve_store_dir,
+    table_fingerprint,
+)
+from repro.kernels.tiling import CONFIG_1, CONFIG_2
+
+
+def _small_table():
+    table = OptimalTilingTable(fallback=CONFIG_1)
+    table.insert(shape_key(16, 4096, 16), CONFIG_1, 1.5e-6)
+    table.insert(shape_key(32, 4096, 16), CONFIG_2, float("nan"))
+    table.insert(shape_key(64, 4096, 16), CONFIG_1, 2.5e-6)
+    return table
+
+
+def _tables_equal(a, b):
+    if a._table != b._table or a.fallback != b.fallback:
+        return False
+    if a._latency.keys() != b._latency.keys():
+        return False
+    return all(
+        va == vb or (math.isnan(va) and math.isnan(vb))
+        for (_, va), vb in zip(sorted(a._latency.items()),
+                               (b._latency[k] for k in sorted(b._latency)))
+    )
+
+
+class TestFingerprint:
+    ARGS = ((4096,), (16, 32, 64, 128), 16384, True)
+
+    def test_stable(self):
+        a = table_fingerprint(A100_80GB, *self.ARGS)
+        b = table_fingerprint(A100_80GB, *self.ARGS)
+        assert a == b and len(a) == 16
+
+    def test_input_order_irrelevant(self):
+        a = table_fingerprint(A100_80GB, (4096,), (16, 64), 1024, True)
+        b = table_fingerprint(A100_80GB, (4096,), (64, 16), 1024, True)
+        assert a == b
+
+    def test_sensitive_to_every_input(self):
+        base = table_fingerprint(A100_80GB, *self.ARGS)
+        assert table_fingerprint(get_gpu("A10"), *self.ARGS) != base
+        assert table_fingerprint(A100_80GB, (2048,), (16, 32, 64, 128),
+                                 16384, True) != base
+        assert table_fingerprint(A100_80GB, (4096,), (16,), 16384,
+                                 True) != base
+        assert table_fingerprint(A100_80GB, (4096,), (16, 32, 64, 128),
+                                 8192, True) != base
+        assert table_fingerprint(A100_80GB, (4096,), (16, 32, 64, 128),
+                                 16384, False) != base
+
+    def test_sensitive_to_full_gpu_spec_not_just_name(self):
+        clone = dataclasses.replace(A100_80GB, num_sms=64)
+        assert (table_fingerprint(clone, *self.ARGS)
+                != table_fingerprint(A100_80GB, *self.ARGS))
+
+    def test_sensitive_to_cost_model_constants(self):
+        tweaked = GemmCostModel(A100_80GB, mem_efficiency=0.5)
+        assert (table_fingerprint(A100_80GB, *self.ARGS, cost_model=tweaked)
+                != table_fingerprint(A100_80GB, *self.ARGS))
+
+
+class TestRoundTrip:
+    def test_save_load_equality(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        table = _small_table()
+        store.save("abc123", table, meta={"gpu": "A100-80GB"})
+        loaded = store.load("abc123")
+        assert loaded is not None
+        assert _tables_equal(loaded, table)
+
+    def test_no_fallback_roundtrip(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        table = OptimalTilingTable()
+        table.insert(shape_key(16, 64, 16), CONFIG_2, 1e-6)
+        store.save("x", table)
+        loaded = store.load("x")
+        assert loaded.fallback is None
+        assert loaded._table == table._table
+
+    def test_searched_table_roundtrip(self, tmp_path):
+        search = TilingSearch(A100_80GB, coarse=True)
+        table, _ = search.search([(4096, 64)], max_m=1024)
+        store = KernelTableStore(tmp_path)
+        store.save("real", table)
+        loaded = store.load("real")
+        assert _tables_equal(loaded, table)
+
+    def test_no_tmp_files_left(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        store.save("abc", _small_table())
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name != "table-abc.json"]
+        assert leftovers == []
+
+    def test_legacy_v1_format_loads(self, tmp_path):
+        """Tables written before deduplication still read back."""
+        payload = {
+            "format": 1,
+            "fallback": CONFIG_1.to_dict(),
+            "entries": [
+                {"key": str(shape_key(16, 4096, 16)),
+                 "config": CONFIG_2.to_dict(), "latency_s": 2e-6},
+            ],
+        }
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        table = OptimalTilingTable.load(path)
+        assert table.fallback == CONFIG_1
+        assert table._table[shape_key(16, 4096, 16)] == CONFIG_2
+
+
+class TestInvalidation:
+    def test_missing_file_is_a_miss(self, tmp_path):
+        assert KernelTableStore(tmp_path).load("nothere") is None
+
+    def test_corrupted_json_is_a_miss(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        store.path_for("bad").parent.mkdir(parents=True, exist_ok=True)
+        store.path_for("bad").write_text("{not json")
+        assert store.load("bad") is None
+
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        store.save("t", _small_table())
+        doc = json.loads(store.path_for("t").read_text())
+        del doc["table"]["configs"]
+        store.path_for("t").write_text(json.dumps(doc))
+        assert store.load("t") is None
+
+    def test_stale_store_version_is_a_miss(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        store.save("v", _small_table())
+        doc = json.loads(store.path_for("v").read_text())
+        doc["store_version"] = -1
+        store.path_for("v").write_text(json.dumps(doc))
+        assert store.load("v") is None
+
+    def test_renamed_file_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        store.save("orig", _small_table())
+        store.path_for("orig").rename(store.path_for("moved"))
+        assert store.load("moved") is None
+
+    def test_entries_marks_stale_files(self, tmp_path):
+        store = KernelTableStore(tmp_path)
+        store.save("good", _small_table())
+        store.path_for("good").rename(store.path_for("renamed"))
+        entries = store.entries()
+        assert len(entries) == 1 and entries[0]["stale"]
+
+
+class TestResolveStoreDir:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_STORE_DIR, raising=False)
+        assert resolve_store_dir() is None
+
+    def test_env_var_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_STORE_DIR, str(tmp_path))
+        assert resolve_store_dir() == tmp_path
+
+    def test_explicit_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_STORE_DIR, "/elsewhere")
+        assert resolve_store_dir(tmp_path) == tmp_path
+
+    def test_empty_string_disables(self, monkeypatch):
+        monkeypatch.setenv(ENV_STORE_DIR, "")
+        assert resolve_store_dir() is None
+
+    def test_user_dir_respects_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_user_store_dir() == (
+            tmp_path / "repro" / "kernel-tables"
+        )
+
+
+class TestDefaultTableStore:
+    ARGS = dict(hidden_dims=(4096,), ranks=(16,), max_m=256)
+
+    def test_second_process_would_load_from_disk(self, monkeypatch,
+                                                 tmp_path):
+        monkeypatch.setenv(ENV_STORE_DIR, str(tmp_path))
+        clear_table_cache()
+        first = default_table(A100_80GB, **self.ARGS)
+        fingerprint = table_fingerprint(
+            A100_80GB, self.ARGS["hidden_dims"], self.ARGS["ranks"],
+            self.ARGS["max_m"], True,
+        )
+        assert KernelTableStore(tmp_path).path_for(fingerprint).exists()
+
+        # Simulate a fresh process: drop the in-memory cache and make
+        # searching impossible — only a disk load can succeed.
+        clear_table_cache()
+        import repro.kernels.search as search_mod
+
+        def no_search(*a, **k):
+            raise AssertionError("should have loaded from the store")
+
+        monkeypatch.setattr(search_mod.TilingSearch, "search", no_search)
+        second = default_table(A100_80GB, **self.ARGS)
+        assert _tables_equal(first, second)
+        clear_table_cache()
+
+    def test_no_store_dir_means_no_files(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(ENV_STORE_DIR, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        clear_table_cache()
+        default_table(A100_80GB, **self.ARGS)
+        assert not (tmp_path / "repro").exists()
+        clear_table_cache()
+
+    def test_concurrent_default_table_searches_once(self, monkeypatch):
+        monkeypatch.delenv(ENV_STORE_DIR, raising=False)
+        clear_table_cache()
+        import repro.kernels.search as search_mod
+
+        searches = []
+        real_search = search_mod.TilingSearch.search
+
+        def counting_search(self, *a, **k):
+            searches.append(1)
+            return real_search(self, *a, **k)
+
+        monkeypatch.setattr(search_mod.TilingSearch, "search",
+                            counting_search)
+        tables = [None] * 4
+
+        def worker(i):
+            tables[i] = default_table(A100_80GB, **self.ARGS)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(searches) == 1
+        assert all(t is tables[0] for t in tables)
+        clear_table_cache()
