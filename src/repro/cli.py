@@ -74,6 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fault.add_argument("--burst-rate", type=float, default=0.0,
                        help="load-burst windows per second (arrivals are "
                             "time-compressed 3-8x inside each window)")
+    fault.add_argument("--scale-stall-rate", type=float, default=0.0,
+                       help="slow-provisioning windows per second (replica "
+                            "warm-up is 2-6x slower inside each window; "
+                            "only meaningful with --autoscale)")
     fault.add_argument("--deadline-factor", type=float, default=None,
                        help="abort requests older than factor x their SLO")
     fault.add_argument("--slo", type=float, default=None,
@@ -112,6 +116,40 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="re-probe a quarantined adapter after this "
                                "many seconds (default: quarantine is "
                                "permanent)")
+    cluster = serve.add_argument_group(
+        "multi-GPU / elastic autoscaling (docs/AUTOSCALING.md; "
+        "all default-off — the default run is a single static engine)"
+    )
+    cluster.add_argument("--num-gpus", type=int, default=1,
+                         help="replica count (static) or the initial "
+                              "replica count (with --autoscale)")
+    cluster.add_argument("--dispatch", default="least-loaded",
+                         choices=("least-loaded", "round-robin",
+                                  "adapter-affinity"),
+                         help="inter-GPU dispatch policy")
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="enable elastic replica autoscaling "
+                              "(WARMING/ACTIVE/DRAINING lifecycle)")
+    cluster.add_argument("--autoscale-min", type=int, default=1,
+                         help="minimum ACTIVE+WARMING replicas")
+    cluster.add_argument("--autoscale-max", type=int, default=4,
+                         help="maximum live replicas")
+    cluster.add_argument("--autoscale-interval", type=float, default=0.5,
+                         help="control-loop epoch length in sim seconds")
+    cluster.add_argument("--autoscale-target-queue", type=float, default=8.0,
+                         help="EWMA live requests per replica the policy "
+                              "holds (scale up above, down below a "
+                              "fraction of it)")
+    cluster.add_argument("--autoscale-slo-floor", type=float, default=None,
+                         help="also scale up when smoothed SLO attainment "
+                              "drops below this fraction (needs --slo)")
+    cluster.add_argument("--autoscale-spinup", type=float, default=0.5,
+                         help="flat engine-provisioning part of a new "
+                              "replica's cold start, seconds")
+    cluster.add_argument("--autoscale-drain-timeout", type=float,
+                         default=30.0,
+                         help="re-home a draining replica's leftover work "
+                              "after this many seconds")
 
     compare = sub.add_parser(
         "compare", help="sweep request rates across all systems"
@@ -185,7 +223,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _common_serving_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="retrieval",
-                        choices=("retrieval", "video"))
+                        choices=("retrieval", "video", "diurnal"))
+    parser.add_argument("--trough", type=float, default=None,
+                        help="diurnal trough rate in requests/s "
+                             "(default: rate / 5; diurnal workload only)")
+    parser.add_argument("--period", type=float, default=None,
+                        help="diurnal period in seconds "
+                             "(default: duration / 2; diurnal only)")
     parser.add_argument("--model", default="Qwen-VL-7B",
                         choices=list_models())
     parser.add_argument("--rate", type=float, default=6.0,
@@ -212,22 +256,27 @@ def _make_fault_injector(args) -> "Optional[object]":
 
     rates = (args.swap_fail_rate, args.swap_slow_rate,
              args.kv_pressure_rate, args.engine_slow_rate,
-             getattr(args, "burst_rate", 0.0))
+             getattr(args, "burst_rate", 0.0),
+             getattr(args, "scale_stall_rate", 0.0))
     if all(r <= 0 for r in rates):
         return None
     adapter_ids = [f"lora-{i}" for i in range(args.adapters)]
+    num_gpus = getattr(args, "num_gpus", 1)
+    engine_ids = (tuple(f"gpu-{i}" for i in range(num_gpus))
+                  if num_gpus > 1 else ("engine-0",))
     # Faults must be able to land after the arrival window too (the
     # queue drains past --duration under load).
     return FaultInjector.random(
         horizon_s=args.duration * 4,
         seed=args.fault_seed,
         adapter_ids=adapter_ids,
-        engine_ids=("engine-0",),
+        engine_ids=engine_ids,
         swap_fail_rate=args.swap_fail_rate,
         swap_slow_rate=args.swap_slow_rate,
         kv_pressure_rate=args.kv_pressure_rate,
         engine_slow_rate=args.engine_slow_rate,
         load_burst_rate=getattr(args, "burst_rate", 0.0),
+        scale_stall_rate=getattr(args, "scale_stall_rate", 0.0),
     )
 
 
@@ -279,6 +328,17 @@ def _make_workload(args, system: str) -> list:
             top_adapter_share=args.skew, use_task_heads=heads,
             slo_s=slo, seed=args.seed,
         ).generate()
+    if args.workload == "diurnal":
+        from repro.workloads.diurnal import diurnal_burst_trace
+
+        trough = args.trough if args.trough is not None else args.rate / 5
+        period = args.period if args.period is not None else args.duration / 2
+        return diurnal_burst_trace(
+            builder_ids, peak_rps=args.rate, trough_rps=trough,
+            period_s=period, duration_s=args.duration,
+            top_adapter_share=args.skew, use_task_heads=heads,
+            slo_s=slo, seed=args.seed,
+        )
     requests = VideoAnalyticsWorkload(
         builder_ids, num_streams=max(1, int(args.rate)),
         duration_s=args.duration, use_task_heads=heads, seed=args.seed,
@@ -341,6 +401,10 @@ def cmd_serve(args) -> int:
         print(f"--profile must be positive, got {args.profile}",
               file=sys.stderr)
         return 2
+    if args.num_gpus < 1:
+        print(f"--num-gpus must be >= 1, got {args.num_gpus}",
+              file=sys.stderr)
+        return 2
     injector = _make_fault_injector(args)
     builder = SystemBuilder(model=get_model(args.model),
                             num_adapters=args.adapters,
@@ -352,7 +416,30 @@ def cmd_serve(args) -> int:
                             admission=admission,
                             brownout=brownout,
                             breaker=breaker)
-    engine = builder.build(args.system)
+    if args.num_gpus > 1 or args.autoscale:
+        from repro.runtime import AutoscaleConfig, Autoscaler, MultiGPUServer
+
+        scaler = None
+        if args.autoscale:
+            try:
+                scaler = Autoscaler(AutoscaleConfig(
+                    min_replicas=args.autoscale_min,
+                    max_replicas=args.autoscale_max,
+                    interval_s=args.autoscale_interval,
+                    target_queue_per_replica=args.autoscale_target_queue,
+                    slo_floor=args.autoscale_slo_floor,
+                    spinup_s=args.autoscale_spinup,
+                    drain_timeout_s=args.autoscale_drain_timeout,
+                ))
+            except ValueError as exc:
+                print(f"bad autoscale flags: {exc}", file=sys.stderr)
+                return 2
+        engine = MultiGPUServer.replicate(
+            lambda: builder.build(args.system), args.num_gpus,
+            dispatch=args.dispatch, autoscaler=scaler,
+        )
+    else:
+        engine = builder.build(args.system)
     if args.trace_in:
         try:
             requests = load_trace(args.trace_in)

@@ -16,6 +16,8 @@ vLLM/LightLLM, driven by the analytical cost models:
 * :mod:`repro.runtime.scheduler` — Algorithm 1 and baseline policies;
 * :mod:`repro.runtime.engine` — the iteration-level engine;
 * :mod:`repro.runtime.cluster` — multi-GPU dispatch (Table 3);
+* :mod:`repro.runtime.autoscaler` — elastic replica lifecycle
+  (WARMING/ACTIVE/DRAINING/DEAD) and the scaling policy;
 * :mod:`repro.runtime.metrics` — latency/throughput accounting.
 """
 
@@ -52,14 +54,23 @@ from repro.runtime.overload import (
     BreakerState,
     BrownoutConfig,
     BrownoutController,
+    EwmaSignal,
     ReplicaHealth,
 )
 from repro.runtime.engine import EngineConfig, ServingEngine
+from repro.runtime.autoscaler import (
+    AutoscaleConfig,
+    Autoscaler,
+    Replica,
+    ReplicaState,
+    estimate_cold_start_s,
+)
 from repro.runtime.cluster import MultiGPUServer
 from repro.runtime.metrics import (
     AbortRecord,
     MetricsCollector,
     RequestRecord,
+    ScaleEvent,
 )
 
 __all__ = [
@@ -98,11 +109,18 @@ __all__ = [
     "BreakerConfig",
     "BreakerState",
     "AdapterBreaker",
+    "EwmaSignal",
     "ReplicaHealth",
     "ServingEngine",
     "EngineConfig",
+    "AutoscaleConfig",
+    "Autoscaler",
+    "Replica",
+    "ReplicaState",
+    "estimate_cold_start_s",
     "MultiGPUServer",
     "MetricsCollector",
     "RequestRecord",
     "AbortRecord",
+    "ScaleEvent",
 ]

@@ -19,15 +19,33 @@ also around *unhealthy* ones: each replica carries a health score
 (:meth:`~repro.runtime.engine.ServingEngine.health_snapshot` — death,
 EWMA iteration slowdown vs the median peer, queue depth) and dispatch
 avoids replicas scoring below ``health_floor``.
+
+The replica set itself can be **elastic**: attach an
+:class:`~repro.runtime.autoscaler.Autoscaler` (plus an
+``engine_factory``) and :meth:`run` switches from the static
+run-to-completion loop to an epoched control loop in which replicas
+move through the WARMING → ACTIVE → DRAINING → DEAD lifecycle, new
+replicas pay a modeled cold start before serving, scale-downs drain
+gracefully through the requeue machinery, and a failed replica's
+orphans re-enter the shared dispatch queue.  Without an autoscaler the
+static code path is untouched — metrics are bit-identical to the
+pre-lifecycle cluster.
 """
 
 from __future__ import annotations
 
+import heapq
 import zlib
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.runtime.autoscaler import (
+    Autoscaler,
+    Replica,
+    ReplicaState,
+    estimate_cold_start_s,
+)
 from repro.runtime.engine import ServingEngine
-from repro.runtime.metrics import MetricsCollector
+from repro.runtime.metrics import MetricsCollector, ScaleEvent
 from repro.runtime.request import AbortReason, Request
 
 DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity")
@@ -46,8 +64,18 @@ class MultiGPUServer:
     (``None`` = only bounded by the engine count, the legacy behavior),
     and ``requeue_backoff_s`` spaces repeated requeues of the same
     request out with capped exponential backoff so a cascading failure
-    does not instantly pile every orphan onto the next victim.
+    does not instantly pile every orphan onto the next victim.  Only
+    *failover* hops burn that budget — voluntary drain re-homing during
+    scale-down charges the request's ``drain_hops`` instead.
+
+    With ``autoscaler`` set (requires ``engine_factory``), the replica
+    set is elastic: :meth:`submit` parks requests in a cluster-level
+    queue and :meth:`run` dispatches them epoch by epoch to whatever
+    replicas are ACTIVE at that moment.
     """
+
+    #: Epoch-count backstop for the autoscaled control loop.
+    _MAX_EPOCHS = 1_000_000
 
     def __init__(self, engines: Sequence[ServingEngine],
                  dispatch: str = "least-loaded", *,
@@ -55,7 +83,11 @@ class MultiGPUServer:
                  health_floor: float = 0.25,
                  max_requeues: Optional[int] = None,
                  requeue_backoff_s: float = 0.0,
-                 requeue_backoff_cap_s: float = 5.0):
+                 requeue_backoff_cap_s: float = 5.0,
+                 autoscaler: Optional[Autoscaler] = None,
+                 engine_factory: Optional[
+                     Callable[[], ServingEngine]] = None):
+        engines = list(engines)
         if not engines:
             raise ValueError("need at least one engine")
         if dispatch not in DISPATCH_POLICIES:
@@ -69,27 +101,58 @@ class MultiGPUServer:
             raise ValueError(f"max_requeues must be >= 1, got {max_requeues}")
         if requeue_backoff_s < 0 or requeue_backoff_cap_s <= 0:
             raise ValueError("requeue backoff times must be >= 0 / positive")
-        self.engines = list(engines)
+        if autoscaler is not None and engine_factory is None:
+            raise ValueError(
+                "autoscaling needs an engine_factory to spawn replicas"
+            )
         self.dispatch = dispatch
         self.health_aware = health_aware
         self.health_floor = health_floor
         self.max_requeues = max_requeues
         self.requeue_backoff_s = requeue_backoff_s
         self.requeue_backoff_cap_s = requeue_backoff_cap_s
+        self.autoscaler = autoscaler
+        self.engine_factory = engine_factory
         self._rr_next = 0
-        #: Cluster-level events (failover, no-survivor aborts) that do
-        #: not belong to any single replica's collector.
+        #: Cluster-level events (failover, no-survivor aborts, scale
+        #: events) that do not belong to any single replica's collector.
         self.cluster_metrics = MetricsCollector()
         # Give replicas distinct identities so engine-targeted fault
         # specs (ENGINE_FAIL / ENGINE_SLOW) can name them, unless the
         # caller already assigned ids.
-        if len({e.engine_id for e in self.engines}) != len(self.engines):
-            for i, engine in enumerate(self.engines):
+        if len({e.engine_id for e in engines}) != len(engines):
+            for i, engine in enumerate(engines):
                 engine.engine_id = f"gpu-{i}"
+        #: Every replica ever part of the cluster, append-only; the
+        #: initial set starts ACTIVE at t=0 (no cold start — they are
+        #: the provisioned baseline).
+        self.replicas: List[Replica] = [
+            Replica(engine=e, state=ReplicaState.ACTIVE,
+                    spawned_at=0.0, activated_at=0.0)
+            for e in engines
+        ]
+        self._replica_of = {rep.replica_id: rep for rep in self.replicas}
+        self._next_replica_idx = len(self.replicas)
+        self._spawns_used = 0
+        #: Requests accepted but not yet placed on a replica
+        #: (autoscaled mode only), ordered by (arrival, id).
+        self._undispatched: List[Tuple[float, int, Request]] = []
+        # Per-collector (records, aborts) read cursors for incremental
+        # SLO-attainment sampling between scale decisions.
+        self._slo_cursor = {}
+
+    @property
+    def engines(self) -> List[ServingEngine]:
+        """Engines of every non-DEAD replica (static mode: all of them)."""
+        return [rep.engine for rep in self.replicas
+                if rep.state is not ReplicaState.DEAD]
 
     @property
     def num_gpus(self) -> int:
         return len(self.engines)
+
+    def _members(self, *states: ReplicaState) -> List[Replica]:
+        return [rep for rep in self.replicas if rep.state in states]
 
     # -- health ------------------------------------------------------------------
 
@@ -102,6 +165,8 @@ class MultiGPUServer:
         cannot drag the whole cluster's reference point down with it.
         """
         engines = self.engines if engines is None else list(engines)
+        if not engines:
+            return []
         snaps = [e.health_snapshot() for e in engines]
         ewmas = sorted(
             s.iter_ewma for s in snaps if s.iter_ewma is not None
@@ -116,39 +181,68 @@ class MultiGPUServer:
 
     # -- dispatch ----------------------------------------------------------------
 
+    def _accepts_dispatch(self, engine: ServingEngine) -> bool:
+        """Lifecycle gate: only ACTIVE replicas take fresh traffic."""
+        rep = self._replica_of.get(engine.engine_id)
+        return rep is None or rep.state is ReplicaState.ACTIVE
+
     def _routable(self, engines: Sequence[ServingEngine]):
         """(allowed indices, scores) for dispatch over ``engines``.
 
         Dead replicas are always excluded (their fault schedule already
-        killed them); ``health_aware`` additionally drops replicas below
+        killed them), as are replicas outside the ACTIVE lifecycle state
+        (WARMING replicas are not ready; DRAINING ones refuse new work);
+        ``health_aware`` additionally drops replicas below
         ``health_floor``.  If exclusion would leave nothing routable the
-        full set is returned — dispatch must place every request
-        somewhere, and failover / no-survivor abort handles the rest.
+        widest lifecycle-eligible set is returned — dispatch must place
+        every request somewhere, and failover / no-survivor abort
+        handles the rest.
         """
         scores = self.health_scores(engines)
         dead = [e.health_snapshot().dead for e in engines]
-        allowed = [i for i in range(len(engines)) if not dead[i]]
+        allowed = [i for i in range(len(engines))
+                   if not dead[i] and self._accepts_dispatch(engines[i])]
         if self.health_aware:
             healthy = [i for i in allowed if scores[i] >= self.health_floor]
             if healthy:
                 allowed = healthy
         if not allowed:
-            allowed = list(range(len(engines)))
+            eligible = [i for i in range(len(engines))
+                        if self._accepts_dispatch(engines[i])]
+            allowed = eligible or list(range(len(engines)))
         return allowed, scores
 
     def submit(self, requests: Sequence[Request]) -> None:
-        """Dispatch each request to a replica per the configured policy."""
+        """Accept requests: dispatch now (static) or queue (autoscaled).
+
+        A static cluster places every request on a replica immediately,
+        per the configured policy.  An autoscaled cluster cannot — the
+        replica a request should land on may not exist yet — so requests
+        wait in a cluster-level queue until their arrival epoch.
+        """
+        if self.autoscaler is not None:
+            for r in requests:
+                heapq.heappush(
+                    self._undispatched, (r.arrival_time, r.request_id, r)
+                )
+            return
+        self._dispatch(requests, self.engines)
+
+    def _dispatch(self, requests: Sequence[Request],
+                  engines: Sequence[ServingEngine]) -> None:
+        """Place ``requests`` across ``engines`` per the policy."""
         ordered = sorted(requests, key=lambda q: (q.arrival_time,
                                                   q.request_id))
-        allowed, scores = self._routable(self.engines)
+        allowed, scores = self._routable(engines)
         if self.dispatch == "least-loaded":
-            self._submit_least_loaded(ordered, allowed, scores)
+            self._submit_least_loaded(ordered, engines, allowed, scores)
         elif self.dispatch == "round-robin":
-            self._submit_round_robin(ordered, allowed)
+            self._submit_round_robin(ordered, engines, allowed)
         else:
-            self._submit_affinity(ordered, allowed)
+            self._submit_affinity(ordered, engines, allowed)
 
     def _submit_least_loaded(self, requests: Sequence[Request],
+                             engines: Sequence[ServingEngine],
                              allowed: List[int],
                              scores: List[float]) -> None:
         # Load measured in queued decode rounds (a better proxy than
@@ -156,7 +250,7 @@ class MultiGPUServer:
         # health_aware, load is inflated by 1/score so a straggling
         # replica must be *much* emptier before it wins a request.
         loads = {
-            i: sum(req.remaining for req in self.engines[i].pending_requests)
+            i: sum(req.remaining for req in engines[i].pending_requests)
             for i in allowed
         }
         for r in requests:
@@ -165,47 +259,63 @@ class MultiGPUServer:
                         key=lambda j: (loads[j] / max(scores[j], 1e-6), j))
             else:
                 i = min(allowed, key=lambda j: (loads[j], j))
-            self.engines[i].submit([r])
+            engines[i].submit([r])
             loads[i] += r.remaining
 
     def _submit_round_robin(self, requests: Sequence[Request],
+                            engines: Sequence[ServingEngine],
                             allowed: List[int]) -> None:
+        n = len(engines)
         allowed_set = set(allowed)
         for r in requests:
             # Advance the cursor past excluded replicas; bounded by one
             # full cycle since ``allowed`` is never empty.
-            for _ in range(self.num_gpus):
-                if self._rr_next % self.num_gpus in allowed_set:
+            for _ in range(n):
+                if self._rr_next % n in allowed_set:
                     break
                 self._rr_next += 1
-            self.engines[self._rr_next % self.num_gpus].submit([r])
+            engines[self._rr_next % n].submit([r])
             self._rr_next += 1
 
     def _submit_affinity(self, requests: Sequence[Request],
+                         engines: Sequence[ServingEngine],
                          allowed: List[int]) -> None:
+        n = len(engines)
         allowed_set = set(allowed)
         for r in requests:
-            home = zlib.crc32(r.adapter_id.encode("utf-8")) % self.num_gpus
+            home = zlib.crc32(r.adapter_id.encode("utf-8")) % n
             # Linear probe from the hashed home keeps each adapter's
             # re-homed traffic together on the same fallback replica.
-            for _ in range(self.num_gpus):
+            for _ in range(n):
                 if home in allowed_set:
                     break
-                home = (home + 1) % self.num_gpus
-            self.engines[home].submit([r])
+                home = (home + 1) % n
+            engines[home].submit([r])
 
     # -- execution ------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> MetricsCollector:
+        """Run the cluster to completion; returns the merged metrics.
+
+        Static clusters run every engine to completion with failover
+        (:meth:`_run_static`); autoscaled clusters run the epoched
+        lifecycle control loop (:meth:`_run_autoscaled`).  Either way
+        the returned collector folds cluster-level events (failover
+        requeues, requeue-limit and no-survivor aborts, scale events)
+        in with every replica's metrics, so ``summary()`` accounts for
+        every submitted request.
+        """
+        if self.autoscaler is not None:
+            return self._run_autoscaled(until)
+        return self._run_static(until)
+
+    def _run_static(self, until: Optional[float]) -> MetricsCollector:
         """Run every engine to completion, failing over dead engines.
 
         Engines run sequentially on independent sim clocks.  After each
         pass, requests stranded on failed engines are requeued onto
         survivors (which then resume); the loop is bounded because each
-        engine can fail at most once.  The returned collector folds the
-        cluster-level events (failover requeues, requeue-limit and
-        no-survivor aborts) in with every replica's metrics, so
-        ``summary()`` accounts for every submitted request.
+        engine can fail at most once.
         """
         for e in self.engines:
             e.run(until=until)
@@ -229,11 +339,315 @@ class MultiGPUServer:
                 self._failover_dispatch(orphans, survivors)
             for e in survivors:
                 e.run(until=until)
+        return self._merged_metrics()
+
+    def _merged_metrics(self) -> MetricsCollector:
         merged = MetricsCollector()
         merged.merge_from(self.cluster_metrics)
-        for e in self.engines:
-            merged.merge_from(e.metrics)
+        for rep in self.replicas:
+            merged.merge_from(rep.engine.metrics)
         return merged
+
+    # -- autoscaled control loop ---------------------------------------------------
+
+    def _run_autoscaled(self, until: Optional[float]) -> MetricsCollector:
+        """Epoched lifecycle loop: warm, dispatch, run, fail over, drain,
+        scale.
+
+        Control time advances in ``interval_s`` steps.  Each epoch:
+        replicas whose warm-up finished turn ACTIVE; due requests are
+        dispatched to ACTIVE replicas; ACTIVE and DRAINING engines run
+        to the epoch boundary on their own sim clocks; failed replicas
+        hand their orphans back to the queue and die; empty (or
+        timed-out) DRAINING replicas retire; finally the autoscaler
+        observes queue depth and SLO attainment and may spawn or drain
+        a replica.  The loop ends when no undispatched or in-flight
+        work remains (or at ``until``).
+        """
+        assert self.autoscaler is not None
+        cfg = self.autoscaler.config
+        now = 0.0
+        for _ in range(self._MAX_EPOCHS):
+            t_next = now + cfg.interval_s
+            if until is not None:
+                t_next = min(t_next, until)
+            self._activate_warm(now)
+            self._dispatch_due(t_next)
+            for rep in self._members(ReplicaState.ACTIVE,
+                                     ReplicaState.DRAINING):
+                rep.engine.run(until=t_next)
+            self._failover_pass(t_next)
+            self._drain_pass(t_next)
+            now = t_next
+            if until is not None and now >= until:
+                break
+            if self._quiescent():
+                break
+            self._scale_pass(now)
+            self._abort_unplaceable(now)
+        else:
+            raise RuntimeError(
+                f"autoscaled cluster did not converge within "
+                f"{self._MAX_EPOCHS} control epochs (t={now:.1f}s)"
+            )
+        self._finalize_lifetimes(now)
+        return self._merged_metrics()
+
+    def _record_event(self, now: float, action: str, rep: Replica,
+                      reason: str) -> None:
+        self.cluster_metrics.record_scale_event(ScaleEvent(
+            time=now, action=action, replica_id=rep.replica_id,
+            reason=reason,
+            num_members=len(self._members(ReplicaState.WARMING,
+                                          ReplicaState.ACTIVE,
+                                          ReplicaState.DRAINING)),
+        ))
+
+    def _activate_warm(self, now: float) -> None:
+        for rep in self._members(ReplicaState.WARMING):
+            if rep.warm_until <= now:
+                rep.activate(rep.warm_until)
+                # Align the fresh engine's sim clock with the moment it
+                # came online so its iteration timeline starts here.
+                rep.engine.clock.advance_to(rep.warm_until)
+                self.cluster_metrics.warming_time_s += (
+                    rep.warm_until - rep.spawned_at
+                )
+                self._record_event(rep.warm_until, "activate", rep,
+                                   "warm-up complete")
+
+    def _dispatch_due(self, t_next: float) -> None:
+        if not self._undispatched:
+            return
+        active = [rep.engine for rep in self._members(ReplicaState.ACTIVE)
+                  if not rep.engine.failed]
+        if not active:
+            return  # hold the queue; warming/healing will provide capacity
+        due: List[Request] = []
+        while self._undispatched and self._undispatched[0][0] <= t_next:
+            due.append(heapq.heappop(self._undispatched)[2])
+        if due:
+            self._dispatch(due, active)
+
+    def _requeue(self, orphans: Sequence[Request]) -> None:
+        for r in orphans:
+            heapq.heappush(
+                self._undispatched, (r.arrival_time, r.request_id, r)
+            )
+
+    def _failover_pass(self, t_next: float) -> None:
+        """Retire failed replicas; their orphans rejoin the queue.
+
+        Unlike the static path, orphans do not go straight to a
+        survivor: they re-enter the shared undispatched queue and the
+        next epoch's dispatch places them with the normal policy —
+        which also means a replica spawned *because of* the failure can
+        pick them up once warm.
+        """
+        for rep in self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
+                                 ReplicaState.DRAINING):
+            e = rep.engine
+            if not e.failed:
+                continue
+            orphans = e.drain_orphans()
+            orphans = self._cap_requeues(orphans)
+            if orphans:
+                self._apply_requeue_backoff(orphans)
+                self.cluster_metrics.failover_events += len(orphans)
+                self._requeue(orphans)
+            self._retire(rep, max(t_next, e.clock.now), "fail",
+                         "engine failed")
+
+    def _drain_pass(self, t_next: float) -> None:
+        """Retire empty DRAINING replicas; time out stuck drains.
+
+        A drain that outlives ``drain_timeout_s`` re-homes its
+        remaining work through the queue *without* charging the
+        requests' failover budget or backoff (their host never failed —
+        the cluster chose to retire it), so scale-down churn can never
+        abort a healthy request via ``max_requeues``.
+        """
+        cfg = self.autoscaler.config
+        for rep in self._members(ReplicaState.DRAINING):
+            e = rep.engine
+            if e.num_live == 0:
+                self._retire(rep, max(t_next, e.clock.now), "retire",
+                             "drained empty")
+            elif t_next - rep.drain_started_at >= cfg.drain_timeout_s:
+                orphans = e.drain_orphans(count_hop=False)
+                self.cluster_metrics.drain_requeues += len(orphans)
+                self._requeue(orphans)
+                self._record_event(
+                    t_next, "drain_timeout", rep,
+                    f"re-homed {len(orphans)} in-flight requests"
+                )
+                self._retire(rep, max(t_next, e.clock.now), "retire",
+                             "drain timed out")
+
+    def _retire(self, rep: Replica, now: float, action: str,
+                reason: str) -> None:
+        """DEAD transition plus lifetime accounting, any prior state."""
+        if (rep.state is ReplicaState.DRAINING
+                and rep.drain_started_at is not None):
+            self.cluster_metrics.draining_time_s += (
+                now - rep.drain_started_at
+            )
+        rep.die(now)
+        self.cluster_metrics.gpu_seconds_total += max(
+            0.0, now - rep.spawned_at
+        )
+        self._record_event(now, action, rep, reason)
+
+    def _scale_pass(self, now: float) -> None:
+        active = self._members(ReplicaState.ACTIVE)
+        warming = self._members(ReplicaState.WARMING)
+        draining = self._members(ReplicaState.DRAINING)
+        queue_depth = sum(rep.engine.num_live
+                          for rep in active + warming + draining)
+        queue_depth += sum(
+            1 for arrival, _, _ in self._undispatched if arrival <= now
+        )
+        delta = self.autoscaler.observe(
+            now,
+            queue_depth=queue_depth,
+            num_active=len(active),
+            num_warming=len(warming),
+            num_draining=len(draining),
+            slo_sample=self._slo_sample(),
+        )
+        if delta > 0:
+            for _ in range(delta):
+                if not self._spawn_replica(now):
+                    break
+        elif delta < 0:
+            self._drain_one(now)
+
+    def _slo_sample(self) -> Optional[float]:
+        """SLO attainment among requests turned terminal since last call.
+
+        Incremental (per-collector cursors into the append-only records
+        and aborts lists), so the control loop stays linear in the trace
+        size.  ``None`` when no SLO-carrying request finished or aborted
+        this epoch.
+        """
+        met = 0
+        total = 0
+        collectors = [self.cluster_metrics] + [
+            rep.engine.metrics for rep in self.replicas
+        ]
+        for m in collectors:
+            rec_i, ab_i = self._slo_cursor.get(id(m), (0, 0))
+            for rec in m.records[rec_i:]:
+                if rec.slo_s is not None:
+                    total += 1
+                    if rec.latency <= rec.slo_s:
+                        met += 1
+            for ab in m.aborts[ab_i:]:
+                if ab.slo_s is not None:
+                    total += 1
+            self._slo_cursor[id(m)] = (len(m.records), len(m.aborts))
+        if total == 0:
+            return None
+        return met / total
+
+    def _can_spawn(self) -> bool:
+        cfg = self.autoscaler.config
+        members = self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
+                                ReplicaState.DRAINING)
+        return (self.engine_factory is not None
+                and self._spawns_used < cfg.spawn_budget
+                and len(members) < cfg.max_replicas)
+
+    def _fresh_replica_id(self) -> str:
+        while True:
+            rid = f"gpu-{self._next_replica_idx}"
+            self._next_replica_idx += 1
+            if rid not in self._replica_of:
+                return rid
+
+    def _spawn_replica(self, now: float) -> bool:
+        """Provision one WARMING replica; False when spawning is capped."""
+        if not self._can_spawn():
+            return False
+        cfg = self.autoscaler.config
+        engine = self.engine_factory()
+        engine.engine_id = self._fresh_replica_id()
+        self._spawns_used += 1
+        cold = estimate_cold_start_s(engine, cfg)
+        stall = 1.0
+        if engine.faults is not None:
+            stall = engine.faults.scale_stall_factor(engine.engine_id, now)
+        if stall > 1.0:
+            self.cluster_metrics.scale_stalls += 1
+        rep = Replica(engine=engine, state=ReplicaState.WARMING,
+                      spawned_at=now, warm_until=now + cold * stall)
+        self.replicas.append(rep)
+        self._replica_of[rep.replica_id] = rep
+        self._record_event(now, "spawn", rep,
+                           f"cold start {cold * stall:.3f}s")
+        return True
+
+    def _drain_one(self, now: float) -> None:
+        """Quiesce the scale-down victim: worst health, then emptiest."""
+        cfg = self.autoscaler.config
+        candidates = [rep for rep in self._members(ReplicaState.ACTIVE)
+                      if not rep.engine.failed]
+        if len(candidates) <= cfg.min_replicas:
+            return
+        scores = self.health_scores([rep.engine for rep in candidates])
+        rep, score = min(
+            zip(candidates, scores),
+            key=lambda cs: (cs[1], cs[0].engine.num_live, cs[0].replica_id),
+        )
+        rep.start_drain(now)
+        self._record_event(now, "drain", rep,
+                           f"scale down (health {score:.3f})")
+
+    def _abort_unplaceable(self, now: float) -> None:
+        """No live replicas and no way to spawn any: fail the queue.
+
+        The autoscaled analogue of the static path's no-survivor abort;
+        only reachable once the spawn budget is exhausted or the
+        factory is gone, since min-replica healing otherwise
+        re-provisions.
+        """
+        if not self._undispatched:
+            return
+        if self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
+                         ReplicaState.DRAINING):
+            return
+        if self._can_spawn():
+            return
+        while self._undispatched:
+            _, _, r = heapq.heappop(self._undispatched)
+            r.abort(max(r.arrival_time, now), AbortReason.ENGINE_FAILED)
+            self.cluster_metrics.record_abort(r)
+
+    def _quiescent(self) -> bool:
+        if self._undispatched:
+            return False
+        return all(
+            rep.engine.num_live == 0
+            for rep in self._members(ReplicaState.WARMING,
+                                     ReplicaState.ACTIVE,
+                                     ReplicaState.DRAINING)
+        )
+
+    def _finalize_lifetimes(self, end: float) -> None:
+        """Charge still-live replicas' GPU seconds up to the run's end."""
+        for rep in self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
+                                 ReplicaState.DRAINING):
+            t = max(end, rep.engine.clock.now)
+            if (rep.state is ReplicaState.DRAINING
+                    and rep.drain_started_at is not None):
+                self.cluster_metrics.draining_time_s += (
+                    t - rep.drain_started_at
+                )
+            self.cluster_metrics.gpu_seconds_total += max(
+                0.0, t - rep.spawned_at
+            )
+
+    # -- failover helpers ------------------------------------------------------------
 
     def _cap_requeues(self, orphans: List[Request]) -> List[Request]:
         """Abort orphans that already burned their requeue budget."""
@@ -292,8 +706,13 @@ class MultiGPUServer:
     def replicate(cls, factory: Callable[[], ServingEngine],
                   num_gpus: int, dispatch: str = "least-loaded",
                   **kwargs) -> "MultiGPUServer":
-        """Build ``num_gpus`` identical engines from a factory."""
+        """Build ``num_gpus`` identical engines from a factory.
+
+        The factory is kept as the cluster's ``engine_factory`` so an
+        attached autoscaler can spawn more replicas from the same mold.
+        """
         if num_gpus <= 0:
             raise ValueError(f"num_gpus must be positive, got {num_gpus}")
+        kwargs.setdefault("engine_factory", factory)
         return cls([factory() for _ in range(num_gpus)], dispatch=dispatch,
                    **kwargs)

@@ -190,6 +190,9 @@ class ServingEngine:
         self.engine_id = engine_id
         self.failed = False
         self.failed_at: Optional[float] = None
+        #: Quiesced engines refuse new work (cluster drain; see
+        #: :meth:`quiesce`) but keep running what they already hold.
+        self.quiesced = False
         self._kv_stalls = 0
         self._swap_backoff_until: Dict[str, float] = {}
         # Latest backoff expiry ever armed: once the clock passes it,
@@ -227,6 +230,11 @@ class ServingEngine:
 
     def submit(self, requests: Sequence[Request]) -> None:
         """Queue requests for their arrival times (may be in the future)."""
+        if self.quiesced and requests:
+            raise RuntimeError(
+                f"engine {self.engine_id} is quiesced (draining); "
+                f"dispatching new work to it is a cluster bug"
+            )
         for r in requests:
             self.adapters.spec(r.adapter_id)  # validate adapter exists
             heapq.heappush(
@@ -236,6 +244,23 @@ class ServingEngine:
     @property
     def num_live(self) -> int:
         return len(self._pending) + len(self._active)
+
+    # -- drain lifecycle (cluster scale-down) --------------------------------------
+
+    def quiesce(self) -> None:
+        """Stop accepting new work; in-flight requests keep running.
+
+        The cluster's scale-down path quiesces a replica before draining
+        it: dispatch routes around it, :meth:`submit` rejects stragglers
+        (catching dispatch bugs loudly), and once :attr:`is_drained` the
+        replica can be retired without losing a request.
+        """
+        self.quiesced = True
+
+    @property
+    def is_drained(self) -> bool:
+        """True once a quiesced engine holds no live work."""
+        return self.quiesced and self.num_live == 0
 
     @property
     def pending_requests(self) -> List[Request]:
@@ -713,11 +738,15 @@ class ServingEngine:
         self.failed_at = self.clock.now
         self.metrics.engine_failures += 1
 
-    def drain_orphans(self) -> List[Request]:
-        """Hand over a failed engine's in-flight requests for requeue.
+    def drain_orphans(self, count_hop: bool = True) -> List[Request]:
+        """Hand over this engine's in-flight requests for requeue.
 
         KV state died with the GPU, so every request rewinds to WAITING
-        and will re-prefill on whichever engine adopts it.
+        and will re-prefill on whichever engine adopts it.  Failover
+        passes ``count_hop=True`` (the default): each orphan burns one
+        unit of its ``max_requeues`` failover budget.  The cluster's
+        voluntary drain-timeout path passes ``count_hop=False`` — the
+        host did not fail, so re-homing charges ``drain_hops`` instead.
         """
         now = self.clock.now
         orphans: List[Request] = []
@@ -725,11 +754,11 @@ class ServingEngine:
             if self.kv.has_sequence(r.request_id):
                 self.kv.free(r.request_id)
             self._reused_tokens.pop(r.request_id, None)
-            r.reset_for_requeue(now)
+            r.reset_for_requeue(now, count_hop=count_hop)
             orphans.append(r)
         for entry in self._pending:
             r = entry[2]
-            r.reset_for_requeue(now)
+            r.reset_for_requeue(now, count_hop=count_hop)
             orphans.append(r)
         self._active = {}
         self._pending = []

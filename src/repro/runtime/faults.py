@@ -41,6 +41,7 @@ class FaultKind(enum.Enum):
     ENGINE_FAIL = "engine_fail"               # engine dies at `start` (permanent)
     ENGINE_SLOW = "engine_slow"               # straggler: iterations magnitude× slower
     LOAD_BURST = "load_burst"                 # arrivals magnitude× denser (overload)
+    SCALE_STALL = "scale_stall"               # replica warm-up magnitude× slower
 
 
 @dataclass(frozen=True)
@@ -68,7 +69,7 @@ class FaultSpec:
                 f"KV_PRESSURE magnitude must be in [0, 1), got {self.magnitude}"
             )
         if (self.kind in (FaultKind.ADAPTER_SWAP_SLOW, FaultKind.ENGINE_SLOW,
-                          FaultKind.LOAD_BURST)
+                          FaultKind.LOAD_BURST, FaultKind.SCALE_STALL)
                 and self.magnitude < 1.0):
             raise ValueError(
                 f"{self.kind.value} magnitude must be >= 1, got {self.magnitude}"
@@ -151,6 +152,20 @@ class FaultInjector:
             factor *= s.magnitude
         return factor
 
+    def scale_stall_factor(self, engine_id: str, now: float) -> float:
+        """Warm-up slowdown (>= 1) for a replica spawned at ``now``.
+
+        A ``SCALE_STALL`` window models slow replica provisioning (image
+        pulls, weight loading contention): the cold-start cost of any
+        replica whose spin-up *begins* inside the window is multiplied.
+        ``target=None`` hits every replica; a targeted spec only stalls
+        the named engine id.
+        """
+        factor = 1.0
+        for s in self._active(FaultKind.SCALE_STALL, now, engine_id):
+            factor *= s.magnitude
+        return factor
+
     def load_burst_factor(self, now: float) -> float:
         """Arrival-density multiplier at ``now`` (worst active burst)."""
         windows = self._active(FaultKind.LOAD_BURST, now, None)
@@ -201,10 +216,12 @@ class FaultInjector:
         engine_slow_rate: float = 0.0,
         engine_fail_rate: float = 0.0,
         load_burst_rate: float = 0.0,
+        scale_stall_rate: float = 0.0,
         swap_window_s: float = 0.25,
         kv_window_s: float = 1.0,
         straggler_window_s: float = 2.0,
         burst_window_s: float = 2.0,
+        stall_window_s: float = 3.0,
     ) -> "FaultInjector":
         """Poisson-schedule fault windows over ``[0, horizon_s)``.
 
@@ -248,6 +265,13 @@ class FaultInjector:
             specs.append(FaultSpec(
                 FaultKind.LOAD_BURST, start, dur,
                 magnitude=float(rng.uniform(3.0, 8.0)),
+            ))
+        for start, dur in windows(scale_stall_rate, stall_window_s):
+            # Untargeted: replica ids spawned by an autoscaler do not
+            # exist yet when the schedule is drawn.
+            specs.append(FaultSpec(
+                FaultKind.SCALE_STALL, start, dur,
+                magnitude=float(rng.uniform(2.0, 6.0)),
             ))
         for engine_id in engine_ids:
             for start, dur in windows(engine_slow_rate, straggler_window_s):

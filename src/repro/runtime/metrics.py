@@ -51,6 +51,34 @@ class AbortRecord:
 
 
 @dataclass(frozen=True)
+class ScaleEvent:
+    """One replica-lifecycle transition in an autoscaled cluster.
+
+    ``action`` is one of ``spawn`` (WARMING replica created),
+    ``activate`` (warm-up finished, serving), ``drain`` (scale-down
+    chosen, no new dispatch), ``retire`` (drained empty, released),
+    ``drain_timeout`` (drain deadline hit, remainder re-homed) or
+    ``fail`` (the replica's engine died).  ``num_members`` counts the
+    cluster's live replicas (any non-DEAD state) *after* the event.
+    """
+
+    time: float
+    action: str
+    replica_id: str
+    reason: str
+    num_members: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "time": self.time,
+            "action": self.action,
+            "replica_id": self.replica_id,
+            "reason": self.reason,
+            "num_members": self.num_members,
+        }
+
+
+@dataclass(frozen=True)
 class RequestRecord:
     """Immutable completion record for one request."""
 
@@ -128,12 +156,37 @@ class MetricsCollector:
     # -- cost-cache accounting (memoized iteration-cost layer) -------------
     cost_cache_hits: int = 0
     cost_cache_misses: int = 0
+    # -- replica lifecycle (autoscaled clusters; all zero when static) -----
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+    scale_up_events: int = 0
+    scale_down_events: int = 0
+    replicas_spawned: int = 0
+    replicas_retired: int = 0
+    scale_stalls: int = 0
+    drain_timeouts: int = 0
+    drain_requeues: int = 0
+    warming_time_s: float = 0.0
+    draining_time_s: float = 0.0
+    #: Replica-seconds paid (spawn to death), the bench's cost metric.
+    gpu_seconds_total: float = 0.0
 
     def complete(self, req: Request) -> None:
         self.records.append(RequestRecord.from_request(req))
 
     def record_abort(self, req: Request) -> None:
         self.aborts.append(AbortRecord.from_request(req))
+
+    def record_scale_event(self, event: ScaleEvent) -> None:
+        self.scale_events.append(event)
+        if event.action == "spawn":
+            self.scale_up_events += 1
+            self.replicas_spawned += 1
+        elif event.action == "drain":
+            self.scale_down_events += 1
+        elif event.action == "retire":
+            self.replicas_retired += 1
+        elif event.action == "drain_timeout":
+            self.drain_timeouts += 1
 
     def count_mode(self, mode_name: str) -> None:
         self.mode_iterations[mode_name] = (
@@ -276,6 +329,17 @@ class MetricsCollector:
         self.requeue_limit_aborts += other.requeue_limit_aborts
         self.cost_cache_hits += other.cost_cache_hits
         self.cost_cache_misses += other.cost_cache_misses
+        self.scale_events.extend(other.scale_events)
+        self.scale_up_events += other.scale_up_events
+        self.scale_down_events += other.scale_down_events
+        self.replicas_spawned += other.replicas_spawned
+        self.replicas_retired += other.replicas_retired
+        self.scale_stalls += other.scale_stalls
+        self.drain_timeouts += other.drain_timeouts
+        self.drain_requeues += other.drain_requeues
+        self.warming_time_s += other.warming_time_s
+        self.draining_time_s += other.draining_time_s
+        self.gpu_seconds_total += other.gpu_seconds_total
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for bench JSON dumps).
@@ -311,7 +375,11 @@ class MetricsCollector:
                     "brownout_forced_merges", "brownout_transitions",
                     "brownout_time_s", "breaker_opens", "breaker_half_opens",
                     "breaker_closes", "requeue_limit_aborts",
-                    "cost_cache_hits", "cost_cache_misses"):
+                    "cost_cache_hits", "cost_cache_misses",
+                    "scale_up_events", "scale_down_events",
+                    "replicas_spawned", "replicas_retired", "scale_stalls",
+                    "drain_timeouts", "drain_requeues", "warming_time_s",
+                    "draining_time_s", "gpu_seconds_total"):
             value = getattr(self, key)
             if value:
                 out[key] = float(value)

@@ -54,8 +54,34 @@ __all__ = [
     "BreakerConfig",
     "BreakerState",
     "AdapterBreaker",
+    "EwmaSignal",
     "ReplicaHealth",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Smoothed pressure signals
+# ---------------------------------------------------------------------------
+
+class EwmaSignal:
+    """An exponentially-weighted moving average of a pressure signal.
+
+    The shared smoothing primitive behind brownout pressure and the
+    autoscaler's queue-depth / SLO-miss signals: one sample per
+    controller step, ``value += alpha * (raw - value)``.  Deterministic
+    and clock-free — the caller decides the sampling cadence.
+    """
+
+    def __init__(self, alpha: float, initial: float = 0.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value = initial
+
+    def observe(self, raw: float) -> float:
+        """Fold one sample in; returns the smoothed value."""
+        self.value += self.alpha * (raw - self.value)
+        return self.value
 
 
 # ---------------------------------------------------------------------------
@@ -246,11 +272,15 @@ class BrownoutController:
     def __init__(self, config: BrownoutConfig):
         self.config = config
         self.level = 0
-        self.pressure = 0.0
+        self._pressure = EwmaSignal(config.ewma_alpha)
         self._last_transition = float("-inf")
         self._last_observed: Optional[float] = None
         self.time_degraded = 0.0
         self.transitions = 0
+
+    @property
+    def pressure(self) -> float:
+        return self._pressure.value
 
     def observe(self, now: float, queue_depth: int,
                 kv_free_frac: float) -> int:
@@ -259,7 +289,7 @@ class BrownoutController:
         raw = queue_depth / cfg.queue_high
         if kv_free_frac < cfg.kv_low and cfg.kv_low > 0:
             raw = max(raw, 1.0 + (cfg.kv_low - kv_free_frac) / cfg.kv_low)
-        self.pressure += cfg.ewma_alpha * (raw - self.pressure)
+        self._pressure.observe(raw)
         if self._last_observed is not None and self.level > 0:
             self.time_degraded += max(0.0, now - self._last_observed)
         self._last_observed = now

@@ -107,6 +107,11 @@ class Request:
     credit: float = 0.0
     #: How many times cluster failover has requeued this request.
     requeues: int = 0
+    #: How many times a *voluntary* scale-down drain re-homed this
+    #: request.  Tracked separately from ``requeues`` so that replica
+    #: churn never burns the failover budget (``max_requeues``) of a
+    #: request whose hosts never actually failed.
+    drain_hops: int = 0
 
     def __post_init__(self) -> None:
         if self.input_tokens <= 0:
@@ -197,7 +202,8 @@ class Request:
         self.abort_time = now
         self.abort_reason = reason
 
-    def reset_for_requeue(self, now: float, backoff_s: float = 0.0) -> None:
+    def reset_for_requeue(self, now: float, backoff_s: float = 0.0,
+                          count_hop: bool = True) -> None:
         """Rewind progress so a surviving engine can restart the request.
 
         Used by cluster failover: the dead engine's KV state is gone, so
@@ -205,8 +211,11 @@ class Request:
         failure time (latency for failed-over requests is measured from
         requeue), plus ``backoff_s`` when the cluster spaces repeated
         requeues out.  Each call counts one failover hop in
-        ``requeues``; every other field resets idempotently, so a
-        request whose new host also dies can be drained again safely.
+        ``requeues`` — unless ``count_hop=False``, the scale-down drain
+        path, which charges ``drain_hops`` instead so voluntary replica
+        retirement cannot exhaust a request's failover budget.  Every
+        other field resets idempotently, so a request whose new host
+        also dies can be drained again safely.
         """
         self.status = RequestStatus.WAITING
         self.prefilled = False
@@ -216,5 +225,8 @@ class Request:
         self.abort_time = None
         self.abort_reason = None
         self.credit = 0.0
-        self.requeues += 1
+        if count_hop:
+            self.requeues += 1
+        else:
+            self.drain_hops += 1
         self.arrival_time = max(self.arrival_time, now) + backoff_s

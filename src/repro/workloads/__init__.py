@@ -15,7 +15,11 @@
 
 from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
 from repro.workloads.burst import apply_load_bursts
-from repro.workloads.diurnal import DiurnalPattern, diurnal_retrieval
+from repro.workloads.diurnal import (
+    DiurnalPattern,
+    diurnal_burst_trace,
+    diurnal_retrieval,
+)
 from repro.workloads.retrieval import RetrievalWorkload
 from repro.workloads.skew import skewed_adapter_sampler, zipf_shares
 from repro.workloads.video import VideoAnalyticsWorkload
@@ -30,4 +34,5 @@ __all__ = [
     "zipf_shares",
     "DiurnalPattern",
     "diurnal_retrieval",
+    "diurnal_burst_trace",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -24,13 +24,19 @@ from repro.workloads.retrieval import RetrievalWorkload
 class DiurnalPattern:
     """Sinusoidal rate modulation between a trough and a peak.
 
-    ``rate(t) = trough + (peak - trough) * (1 + sin(2π t / period + φ)) / 2``
+    ``rate(t) = trough + (peak - trough) *
+    ((1 + sin(2π t / period + φ)) / 2) ** sharpness``
+
+    ``sharpness`` > 1 narrows the peaks and widens the trough dwell —
+    the shape of real diurnal traces, where the busy hours are a small
+    fraction of the day.  ``sharpness == 1`` is the plain sinusoid.
     """
 
     peak_rps: float
     trough_rps: float
     period_s: float
     phase: float = -math.pi / 2  # start at the trough by default
+    sharpness: float = 1.0
 
     def __post_init__(self) -> None:
         if self.peak_rps <= 0:
@@ -41,11 +47,17 @@ class DiurnalPattern:
             )
         if self.period_s <= 0:
             raise ValueError(f"period_s must be positive, got {self.period_s}")
+        if self.sharpness <= 0:
+            raise ValueError(
+                f"sharpness must be positive, got {self.sharpness}"
+            )
 
     def rate_at(self, t: float) -> float:
         """Instantaneous target rate at time ``t`` (requests/s)."""
         swing = (1.0 + math.sin(2 * math.pi * t / self.period_s
                                 + self.phase)) / 2.0
+        if self.sharpness != 1.0:
+            swing **= self.sharpness
         return self.trough_rps + (self.peak_rps - self.trough_rps) * swing
 
     def keep_probability(self, t: float) -> float:
@@ -79,3 +91,41 @@ def diurnal_retrieval(
             "thinning removed every request; raise trough_rps or duration"
         )
     return kept
+
+
+def diurnal_burst_trace(
+    adapter_ids: Sequence[str],
+    *,
+    peak_rps: float,
+    trough_rps: float,
+    period_s: float,
+    duration_s: float,
+    top_adapter_share: float = 0.6,
+    use_task_heads: bool = True,
+    slo_s: Optional[float] = None,
+    sharpness: float = 1.0,
+    seed: int = 0,
+    injector=None,
+) -> List[Request]:
+    """Diurnal retrieval trace, optionally spiked with load bursts.
+
+    The driving workload for elastic-autoscaling experiments: a
+    sinusoidal trough-to-peak swing (the signal the autoscaler should
+    track) with, when ``injector`` carries ``LOAD_BURST`` windows,
+    deterministic arrival-compression spikes inside them (the signal it
+    must *survive*).  ``injector`` is a
+    :class:`~repro.runtime.faults.FaultInjector` or ``None``.
+    """
+    pattern = DiurnalPattern(peak_rps=peak_rps, trough_rps=trough_rps,
+                             period_s=period_s, sharpness=sharpness)
+    workload = RetrievalWorkload(
+        adapter_ids, rate_rps=peak_rps, duration_s=duration_s,
+        top_adapter_share=top_adapter_share,
+        use_task_heads=use_task_heads, slo_s=slo_s, seed=seed,
+    )
+    requests = diurnal_retrieval(workload, pattern, seed=seed + 1)
+    if injector is not None and injector.load_burst_windows():
+        from repro.workloads.burst import apply_load_bursts
+
+        requests = apply_load_bursts(requests, injector)
+    return requests

@@ -11,6 +11,8 @@ from repro.generation.augment import (
     videomix,
 )
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture()
 def domain():
@@ -91,6 +93,7 @@ class TestNoiseAndWrapper:
     def test_augmented_domain_trains(self, domain, tinylmm_copy):
         """End-to-end: the enlarged dataset drives LoRA training."""
         from repro.generation import LoRATrainer
+
         model = tinylmm_copy
         model.add_lora(4, rng=np.random.default_rng(0))
         trainer = LoRATrainer(model, steps_per_domain=40)

@@ -21,6 +21,8 @@ from repro.generation import (
     train_small_model,
 )
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture()
 def image_domain():

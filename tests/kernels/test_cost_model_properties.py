@@ -18,6 +18,8 @@ from repro.kernels import (
     enumerate_configs,
 )
 
+pytestmark = pytest.mark.property
+
 CM = GemmCostModel(A100_80GB)
 CONFIGS = enumerate_configs(A100_80GB, include_split_k=False)[::7]
 

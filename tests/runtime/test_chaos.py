@@ -19,6 +19,8 @@ from repro.runtime import (
 )
 from repro.workloads import RetrievalWorkload
 
+pytestmark = pytest.mark.chaos
+
 FAULT_RATES = dict(
     swap_fail_rate=0.8,
     swap_slow_rate=0.5,

@@ -1,0 +1,245 @@
+"""Request-conservation properties under randomized traces and faults.
+
+The cluster's master invariant: **every submitted request reaches exactly
+one terminal state** (FINISHED or ABORTED) — never lost, never double
+counted — regardless of dispatch policy, injected faults, or replica
+lifecycle churn (spawn / drain / fail mid-drain).
+
+Hypothesis drives randomized traces through every dispatch policy ×
+fault menu combination (200+ cases per full run); deterministic tests
+pin down the lifecycle corners randomness can't reliably reach
+(mid-drain failover, drain-requeue accounting vs. the failover budget).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import SystemBuilder
+from repro.runtime import (
+    AutoscaleConfig,
+    Autoscaler,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    MultiGPUServer,
+    Request,
+    RequestStatus,
+    reset_request_ids,
+)
+
+pytestmark = pytest.mark.property
+
+ADAPTER_IDS = [f"lora-{i}" for i in range(3)]
+DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity")
+
+#: Named fault schedules the randomized traces run under.  ``chaos`` is
+#: degraded-but-alive; ``one-dead`` forces failover; ``all-dead`` forces
+#: the abort path (conservation must hold even when nothing can run).
+FAULT_MENUS = {
+    "none": (),
+    "chaos": (
+        FaultSpec(FaultKind.ADAPTER_SWAP_FAIL, start=0.0, duration=2.0,
+                  target=ADAPTER_IDS[0]),
+        FaultSpec(FaultKind.ENGINE_SLOW, start=0.5, duration=2.0,
+                  magnitude=3.0, target="gpu-0"),
+        FaultSpec(FaultKind.KV_PRESSURE, start=1.0, duration=1.5,
+                  magnitude=0.4),
+    ),
+    "one-dead": (
+        FaultSpec(FaultKind.ENGINE_FAIL, start=0.75, target="gpu-1"),
+    ),
+    "all-dead": (
+        FaultSpec(FaultKind.ENGINE_FAIL, start=0.5, target="gpu-0"),
+        FaultSpec(FaultKind.ENGINE_FAIL, start=0.9, target="gpu-1"),
+    ),
+}
+
+_BUILDER = SystemBuilder(num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+                         deadline_slo_factor=4.0)
+
+
+@st.composite
+def traces(draw):
+    """A bounded random request trace (1..14 requests over ~3s)."""
+    n = draw(st.integers(1, 14))
+    reqs = []
+    for _ in range(n):
+        reqs.append(Request(
+            adapter_id=draw(st.sampled_from(ADAPTER_IDS)),
+            arrival_time=draw(st.floats(0.0, 3.0)),
+            input_tokens=draw(st.integers(1, 256)),
+            output_tokens=draw(st.integers(1, 16)),
+            use_task_head=False,
+            slo_s=draw(st.sampled_from([None, 2.0, 8.0])),
+        ))
+    return reqs
+
+
+def assert_exactly_once_terminal(requests, metrics):
+    """Every request terminal exactly once; metrics agree with statuses."""
+    finished = [r for r in requests if r.status is RequestStatus.FINISHED]
+    aborted = [r for r in requests if r.status is RequestStatus.ABORTED]
+    # Terminal, and no request in both camps (statuses are exclusive).
+    assert len(finished) + len(aborted) == len(requests)
+    # Metrics saw each terminal exactly once.
+    assert metrics.num_completed == len(finished)
+    assert metrics.num_aborted == len(aborted)
+    rec_ids = [rec.request_id for rec in metrics.records]
+    abort_ids = [ab.request_id for ab in metrics.aborts]
+    assert len(set(rec_ids)) == len(rec_ids), "double-completed request"
+    assert len(set(abort_ids)) == len(abort_ids), "double-aborted request"
+    assert not set(rec_ids) & set(abort_ids), "completed AND aborted"
+    assert set(rec_ids) | set(abort_ids) == {r.request_id for r in requests}
+    # Latency sanity on the completions.
+    for rec in metrics.records:
+        assert rec.finish_time >= rec.arrival_time
+        assert math.isfinite(rec.latency) and rec.latency >= 0.0
+
+
+def _fresh_cluster(dispatch, faults, num_gpus=2, **kwargs):
+    injector = FaultInjector(list(faults)) if faults else None
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        deadline_slo_factor=4.0, fault_injector=injector,
+    )
+    return MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), num_gpus, dispatch=dispatch,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("dispatch", DISPATCH_POLICIES)
+@pytest.mark.parametrize("menu", sorted(FAULT_MENUS))
+@settings(max_examples=18, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces())
+def test_static_cluster_exactly_once(dispatch, menu, requests):
+    """3 policies × 4 fault menus × 18 examples = 216 randomized cases."""
+    reset_request_ids()
+    server = _fresh_cluster(dispatch, FAULT_MENUS[menu], max_requeues=4)
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    # Nothing may be left in flight on any surviving engine.
+    assert all(e.num_live == 0 for e in server.engines)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces(), seed=st.integers(0, 31))
+def test_autoscaled_cluster_exactly_once_under_chaos(requests, seed):
+    """Randomized faults (incl. engine deaths and scale stalls) during
+    lifecycle churn must never lose or duplicate a request."""
+    reset_request_ids()
+    injector = FaultInjector.random(
+        horizon_s=20.0, seed=seed, adapter_ids=ADAPTER_IDS,
+        engine_ids=("gpu-0", "gpu-1", "gpu-2"),
+        swap_fail_rate=0.3, engine_slow_rate=0.2,
+        engine_fail_rate=0.05, scale_stall_rate=0.2,
+    )
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        deadline_slo_factor=4.0, fault_injector=injector,
+    )
+    scaler = Autoscaler(AutoscaleConfig(
+        min_replicas=1, max_replicas=3, interval_s=0.25,
+        target_queue_per_replica=2.0, down_fraction=0.7,
+        up_cooldown_s=0.25, down_cooldown_s=0.5,
+        spinup_s=0.1, drain_timeout_s=2.0,
+    ))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 1, autoscaler=scaler,
+    )
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert server._undispatched == []
+    # GPU-seconds accounting covers every replica that ever existed:
+    # one initial replica plus every spawn, each with a finite lifetime.
+    assert metrics.replicas_spawned == len(server.replicas) - 1
+    assert metrics.gpu_seconds_total > 0.0
+
+
+def _long_requests(n, output_tokens=192, arrival=0.0):
+    return [
+        Request(adapter_id=ADAPTER_IDS[i % len(ADAPTER_IDS)],
+                arrival_time=arrival, input_tokens=64,
+                output_tokens=output_tokens, use_task_head=False)
+        for i in range(n)
+    ]
+
+
+def test_mid_drain_failover_exactly_once():
+    """A replica that dies *while draining* must hand its in-flight work
+    back through failover, and the cluster must heal and finish it."""
+    faults = (
+        FaultSpec(FaultKind.ENGINE_FAIL, start=2.0, target="gpu-0"),
+        FaultSpec(FaultKind.ENGINE_FAIL, start=2.0, target="gpu-1"),
+    )
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        fault_injector=FaultInjector(list(faults)),
+    )
+    scaler = Autoscaler(AutoscaleConfig(
+        min_replicas=1, max_replicas=2, interval_s=0.25,
+        # Huge target: the controller immediately wants to scale down,
+        # so one of the two initial replicas starts draining while its
+        # long-running batch is still in flight.
+        target_queue_per_replica=100.0, down_fraction=0.9,
+        down_cooldown_s=0.25, spinup_s=0.1, drain_timeout_s=30.0,
+    ))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 2, autoscaler=scaler,
+    )
+    requests = _long_requests(12)
+    server.submit(requests)
+    metrics = server.run()
+
+    assert_exactly_once_terminal(requests, metrics)
+    # The scenario actually happened: a drain began, then both initial
+    # replicas (including the draining one) died and work was re-homed.
+    assert metrics.scale_down_events >= 1, "no drain ever started"
+    actions = [ev.action for ev in metrics.scale_events]
+    assert "fail" in actions, "no replica failed"
+    # The cluster healed: fresh replicas finished the orphaned work.
+    assert metrics.num_completed > 0
+    assert metrics.replicas_spawned >= 1
+
+
+def test_drain_requeue_does_not_consume_failover_budget():
+    """Regression: re-homing during a drain timeout is bookkept as a
+    ``drain_hop``, never as a failover ``requeue`` — so it must neither
+    burn the ``max_requeues`` budget nor add failover backoff."""
+    builder = SystemBuilder(num_adapters=len(ADAPTER_IDS), max_batch_size=8)
+    scaler = Autoscaler(AutoscaleConfig(
+        min_replicas=1, max_replicas=2, interval_s=0.25,
+        target_queue_per_replica=100.0, down_fraction=0.9,
+        down_cooldown_s=0.25, spinup_s=0.1,
+        # Tiny timeout: the drain cannot finish its long batch in time,
+        # so the orphans are forcibly re-homed through the requeue path.
+        drain_timeout_s=0.5,
+    ))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 2, autoscaler=scaler,
+        # Tightest allowed failover budget plus a large backoff: any
+        # accidental use of the failover accounting for drain re-homing
+        # shows up as nonzero ``requeues`` (and aborts on a second hop).
+        max_requeues=1, requeue_backoff_s=1.0,
+    )
+    requests = _long_requests(12)
+    server.submit(requests)
+    metrics = server.run()
+
+    assert_exactly_once_terminal(requests, metrics)
+    assert metrics.drain_timeouts >= 1, "drain never timed out"
+    assert metrics.drain_requeues >= 1, "nothing was re-homed"
+    # Nothing aborted: the zero failover budget was never touched.
+    assert metrics.num_aborted == 0
+    rehomed = [r for r in requests if r.drain_hops > 0]
+    assert rehomed, "no request recorded a drain hop"
+    for r in rehomed:
+        assert r.requeues == 0, "drain re-home consumed failover budget"

@@ -5,11 +5,14 @@ requests, keep time monotone, and return every KV block — including
 under forced KV pressure with preemptions.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import SystemBuilder
 from repro.runtime import Request
 from repro.runtime.kv_cache import PagedKVCache
+
+pytestmark = pytest.mark.property
 
 
 @st.composite

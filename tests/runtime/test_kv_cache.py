@@ -12,6 +12,8 @@ from hypothesis.stateful import (
 
 from repro.runtime import BlockAllocationError, PagedKVCache
 
+pytestmark = pytest.mark.property
+
 
 class TestBasics:
     def test_capacity_accounting(self):

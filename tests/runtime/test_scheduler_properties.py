@@ -6,6 +6,7 @@ purity, starving requests never left behind when capacity allows, and
 batch membership drawn from the candidates.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.runtime import (
@@ -17,6 +18,8 @@ from repro.runtime import (
     VLoRAPolicy,
 )
 from repro.runtime.scheduler import SchedulingContext
+
+pytestmark = pytest.mark.property
 
 ADAPTERS = ["a", "b", "c", "d"]
 

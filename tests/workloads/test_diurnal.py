@@ -40,6 +40,26 @@ class TestPattern:
             DiurnalPattern(peak_rps=5.0, trough_rps=6.0, period_s=60.0)
         with pytest.raises(ValueError):
             DiurnalPattern(peak_rps=5.0, trough_rps=1.0, period_s=0.0)
+        with pytest.raises(ValueError):
+            DiurnalPattern(peak_rps=5.0, trough_rps=1.0, period_s=60.0,
+                           sharpness=0.0)
+
+    def test_sharpness_narrows_peaks(self):
+        plain = DiurnalPattern(peak_rps=10.0, trough_rps=2.0, period_s=60.0)
+        peaky = DiurnalPattern(peak_rps=10.0, trough_rps=2.0, period_s=60.0,
+                               sharpness=3.0)
+        # Same extremes...
+        assert peaky.rate_at(0.0) == pytest.approx(2.0)
+        assert peaky.rate_at(30.0) == pytest.approx(10.0)
+        # ...but strictly below the sinusoid everywhere in between,
+        # so the trough dwell dominates the cycle.
+        for t in (10.0, 15.0, 20.0, 40.0, 50.0):
+            assert peaky.rate_at(t) < plain.rate_at(t)
+        # sharpness=1 is exactly the plain sinusoid (bit-identical).
+        unit = DiurnalPattern(peak_rps=10.0, trough_rps=2.0, period_s=60.0,
+                              sharpness=1.0)
+        for t in np.linspace(0, 60, 50):
+            assert unit.rate_at(t) == plain.rate_at(t)
 
 
 class TestThinning:
