@@ -74,6 +74,18 @@ def _build_parser() -> argparse.ArgumentParser:
     fault.add_argument("--burst-rate", type=float, default=0.0,
                        help="load-burst windows per second (arrivals are "
                             "time-compressed 3-8x inside each window)")
+    fault.add_argument("--partition-rate", type=float, default=0.0,
+                       help="NETWORK_PARTITION windows/s per engine "
+                            "(heartbeats + completions withheld, "
+                            "delivered on heal; needs --detector to "
+                            "be observable)")
+    fault.add_argument("--heartbeat-loss-rate", type=float, default=0.0,
+                       help="HEARTBEAT_LOSS windows/s per engine "
+                            "(heartbeats dropped, work unaffected)")
+    fault.add_argument("--host-fail-rate", type=float, default=0.0,
+                       help="per-host probability/s of a HOST_FAIL "
+                            "killing every replica on the host "
+                            "(needs --num-hosts)")
     fault.add_argument("--scale-stall-rate", type=float, default=0.0,
                        help="slow-provisioning windows per second (replica "
                             "warm-up is 2-6x slower inside each window; "
@@ -150,6 +162,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          default=30.0,
                          help="re-home a draining replica's leftover work "
                               "after this many seconds")
+    cluster.add_argument("--detector", action="store_true",
+                         help="replace the omniscient failure oracle "
+                              "with phi-accrual heartbeat detection and "
+                              "lease-fenced exactly-once dispatch "
+                              "(docs/FAULTS.md)")
+    cluster.add_argument("--phi-suspect", type=float, default=2.0,
+                         help="phi threshold to SUSPECT a replica "
+                              "(drained, not killed)")
+    cluster.add_argument("--phi-confirm", type=float, default=8.0,
+                         help="phi threshold to CONFIRM a replica dead "
+                              "(lease seized, work re-dispatched)")
+    cluster.add_argument("--heartbeat-interval", type=float, default=0.25,
+                         help="replica heartbeat cadence in sim seconds")
+    cluster.add_argument("--num-hosts", type=int, default=0,
+                         help="spread replicas over this many failure "
+                              "domains (enables HOST_FAIL targeting; "
+                              "0 = no correlated domains)")
 
     compare = sub.add_parser(
         "compare", help="sweep request rates across all systems"
@@ -257,13 +286,17 @@ def _make_fault_injector(args) -> "Optional[object]":
     rates = (args.swap_fail_rate, args.swap_slow_rate,
              args.kv_pressure_rate, args.engine_slow_rate,
              getattr(args, "burst_rate", 0.0),
-             getattr(args, "scale_stall_rate", 0.0))
+             getattr(args, "scale_stall_rate", 0.0),
+             getattr(args, "partition_rate", 0.0),
+             getattr(args, "heartbeat_loss_rate", 0.0),
+             getattr(args, "host_fail_rate", 0.0))
     if all(r <= 0 for r in rates):
         return None
     adapter_ids = [f"lora-{i}" for i in range(args.adapters)]
     num_gpus = getattr(args, "num_gpus", 1)
     engine_ids = (tuple(f"gpu-{i}" for i in range(num_gpus))
                   if num_gpus > 1 else ("engine-0",))
+    num_hosts = getattr(args, "num_hosts", 0)
     # Faults must be able to land after the arrival window too (the
     # queue drains past --duration under load).
     return FaultInjector.random(
@@ -277,6 +310,10 @@ def _make_fault_injector(args) -> "Optional[object]":
         engine_slow_rate=args.engine_slow_rate,
         load_burst_rate=getattr(args, "burst_rate", 0.0),
         scale_stall_rate=getattr(args, "scale_stall_rate", 0.0),
+        partition_rate=getattr(args, "partition_rate", 0.0),
+        heartbeat_loss_rate=getattr(args, "heartbeat_loss_rate", 0.0),
+        host_fail_rate=getattr(args, "host_fail_rate", 0.0),
+        host_ids=tuple(f"host-{i}" for i in range(num_hosts)),
     )
 
 
@@ -381,9 +418,14 @@ def cmd_serve(args) -> int:
         return 2
     fault_rates = (args.swap_fail_rate, args.swap_slow_rate,
                    args.kv_pressure_rate, args.engine_slow_rate,
-                   args.burst_rate)
+                   args.burst_rate, args.partition_rate,
+                   args.heartbeat_loss_rate, args.host_fail_rate)
     if any(r < 0 for r in fault_rates):
         print("fault rates must be >= 0", file=sys.stderr)
+        return 2
+    if args.num_hosts < 0:
+        print(f"--num-hosts must be >= 0, got {args.num_hosts}",
+              file=sys.stderr)
         return 2
     try:
         admission, brownout, breaker = _make_overload_configs(args)
@@ -416,8 +458,14 @@ def cmd_serve(args) -> int:
                             admission=admission,
                             brownout=brownout,
                             breaker=breaker)
-    if args.num_gpus > 1 or args.autoscale:
-        from repro.runtime import AutoscaleConfig, Autoscaler, MultiGPUServer
+    if args.num_gpus > 1 or args.autoscale or args.detector:
+        from repro.runtime import (
+            AutoscaleConfig,
+            Autoscaler,
+            FailureDetector,
+            FailureDetectorConfig,
+            MultiGPUServer,
+        )
 
         scaler = None
         if args.autoscale:
@@ -434,9 +482,21 @@ def cmd_serve(args) -> int:
             except ValueError as exc:
                 print(f"bad autoscale flags: {exc}", file=sys.stderr)
                 return 2
+        detector = None
+        if args.detector:
+            try:
+                detector = FailureDetector(FailureDetectorConfig(
+                    heartbeat_interval_s=args.heartbeat_interval,
+                    phi_suspect=args.phi_suspect,
+                    phi_confirm=args.phi_confirm,
+                ))
+            except ValueError as exc:
+                print(f"bad detector flags: {exc}", file=sys.stderr)
+                return 2
         engine = MultiGPUServer.replicate(
             lambda: builder.build(args.system), args.num_gpus,
             dispatch=args.dispatch, autoscaler=scaler,
+            detector=detector, num_hosts=args.num_hosts,
         )
     else:
         engine = builder.build(args.system)

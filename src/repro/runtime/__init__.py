@@ -18,6 +18,8 @@ vLLM/LightLLM, driven by the analytical cost models:
 * :mod:`repro.runtime.cluster` — multi-GPU dispatch (Table 3);
 * :mod:`repro.runtime.autoscaler` — elastic replica lifecycle
   (WARMING/ACTIVE/DRAINING/DEAD) and the scaling policy;
+* :mod:`repro.runtime.failure_detection` — φ-accrual heartbeat
+  suspicion and lease-fenced exactly-once completion delivery;
 * :mod:`repro.runtime.metrics` — latency/throughput accounting.
 """
 
@@ -31,7 +33,19 @@ from repro.runtime.request import (
     reset_request_ids,
 )
 from repro.runtime.clock import SimClock
-from repro.runtime.faults import FaultInjector, FaultKind, FaultSpec
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    FaultSpecError,
+)
+from repro.runtime.failure_detection import (
+    Completion,
+    FailureDetector,
+    FailureDetectorConfig,
+    PhiAccrualDetector,
+    SuspicionState,
+)
 from repro.runtime.kv_cache import BlockAllocationError, PagedKVCache
 from repro.runtime.memory import UnifiedMemoryManager
 from repro.runtime.adapters import AdapterManager
@@ -82,6 +96,12 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultSpec",
+    "FaultSpecError",
+    "Completion",
+    "FailureDetector",
+    "FailureDetectorConfig",
+    "PhiAccrualDetector",
+    "SuspicionState",
     "PagedKVCache",
     "BlockAllocationError",
     "UnifiedMemoryManager",

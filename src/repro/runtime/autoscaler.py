@@ -188,6 +188,7 @@ class Autoscaler:
         num_active: int,
         num_warming: int,
         num_draining: int = 0,
+        num_suspected: int = 0,
         slo_sample: Optional[float] = None,
     ) -> int:
         """Fold one control-interval sample in; returns the replica delta.
@@ -198,10 +199,15 @@ class Autoscaler:
         ``slo_sample`` is the attainment fraction among requests that
         reached a terminal state since the last call (``None`` when none
         did — the smoothed value simply carries over).
+        ``num_suspected`` counts ACTIVE replicas the failure detector
+        currently suspects: they still hold membership (no drain/spawn
+        flap while the detector decides) but their capacity is treated
+        as unavailable, so a suspected-heavy cluster scales up instead
+        of queueing behind maybe-dead replicas.
         """
         cfg = self.config
         self.decisions += 1
-        provisioned = num_active + num_warming
+        provisioned = num_active - num_suspected + num_warming
         per_replica = queue_depth / max(1, provisioned)
         smoothed_q = self.queue_signal.observe(per_replica)
         if slo_sample is not None:
@@ -213,7 +219,10 @@ class Autoscaler:
             self._last_up = now
             return cfg.min_replicas - provisioned
 
-        members = provisioned + num_draining
+        # Membership (the max_replicas bound) counts suspected replicas:
+        # they still occupy GPUs even though their capacity is excluded
+        # from the queue-pressure arithmetic above.
+        members = num_active + num_warming + num_draining
         slo_pressure = (cfg.slo_floor is not None
                         and smoothed_slo < cfg.slo_floor)
         if (members < cfg.max_replicas
@@ -226,7 +235,7 @@ class Autoscaler:
             self._last_down = now
             return 1
 
-        if (num_active > cfg.min_replicas
+        if (num_active - num_suspected > cfg.min_replicas
                 and num_warming == 0
                 and now - self._last_down >= cfg.down_cooldown_s
                 and smoothed_q < cfg.target_queue_per_replica

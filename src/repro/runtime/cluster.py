@@ -30,13 +30,23 @@ gracefully through the requeue machinery, and a failed replica's
 orphans re-enter the shared dispatch queue.  Without an autoscaler the
 static code path is untouched — metrics are bit-identical to the
 pre-lifecycle cluster.
+
+Attach a :class:`~repro.runtime.failure_detection.FailureDetector` and
+the omniscient failure oracle is replaced by *observed* health: the
+cluster only learns a replica died through missed heartbeats (φ-accrual
+suspicion), SUSPECTED replicas are drained-not-killed and heal back on
+resumed heartbeats, CONFIRMED_DEAD replicas have their lease seized and
+their work re-dispatched, and every terminal completion is fenced by a
+``(replica id, lease epoch)`` token so a zombie replica's late results
+are counted and discarded instead of double-terminating requests.
+Without a detector, none of this machinery runs (bit-identical).
 """
 
 from __future__ import annotations
 
 import heapq
 import zlib
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.runtime.autoscaler import (
     Autoscaler,
@@ -45,7 +55,13 @@ from repro.runtime.autoscaler import (
     estimate_cold_start_s,
 )
 from repro.runtime.engine import ServingEngine
+from repro.runtime.failure_detection import (
+    Completion,
+    FailureDetector,
+    SuspicionState,
+)
 from repro.runtime.metrics import MetricsCollector, ScaleEvent
+from repro.runtime.overload import ReplicaHealth
 from repro.runtime.request import AbortReason, Request
 
 DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity")
@@ -86,10 +102,14 @@ class MultiGPUServer:
                  requeue_backoff_cap_s: float = 5.0,
                  autoscaler: Optional[Autoscaler] = None,
                  engine_factory: Optional[
-                     Callable[[], ServingEngine]] = None):
+                     Callable[[], ServingEngine]] = None,
+                 detector: Optional[FailureDetector] = None,
+                 num_hosts: int = 0):
         engines = list(engines)
         if not engines:
             raise ValueError("need at least one engine")
+        if num_hosts < 0:
+            raise ValueError(f"num_hosts must be >= 0, got {num_hosts}")
         if dispatch not in DISPATCH_POLICIES:
             raise ValueError(
                 f"unknown dispatch {dispatch!r}; expected one of "
@@ -113,6 +133,9 @@ class MultiGPUServer:
         self.requeue_backoff_cap_s = requeue_backoff_cap_s
         self.autoscaler = autoscaler
         self.engine_factory = engine_factory
+        self.detector = detector
+        self._num_hosts = num_hosts
+        self._host_seq = 0
         self._rr_next = 0
         #: Cluster-level events (failover, no-survivor aborts, scale
         #: events) that do not belong to any single replica's collector.
@@ -135,11 +158,32 @@ class MultiGPUServer:
         self._next_replica_idx = len(self.replicas)
         self._spawns_used = 0
         #: Requests accepted but not yet placed on a replica
-        #: (autoscaled mode only), ordered by (arrival, id).
+        #: (epoched mode only), ordered by (arrival, id).
         self._undispatched: List[Tuple[float, int, Request]] = []
         # Per-collector (records, aborts) read cursors for incremental
         # SLO-attainment sampling between scale decisions.
         self._slo_cursor = {}
+        # -- failure-detection state (all unused when detector is None) ----
+        #: Next scheduled heartbeat emission per registered replica.
+        self._hb_next: Dict[str, float] = {}
+        #: Heartbeats emitted while partitioned, delivered on heal.
+        self._withheld_hb: Dict[str, List[float]] = {}
+        #: Replicas observed partitioned last epoch (heal accounting).
+        self._was_partitioned: Dict[str, bool] = {}
+        #: Undelivered completions seized from confirmed-dead replicas;
+        #: delivered (and fenced) if/when the zombie becomes reachable.
+        self._zombie_mail: Dict[str, List[Completion]] = {}
+        #: Request ids whose terminal completion was already accepted.
+        self._accepted_rids: Set[int] = set()
+        if self._num_hosts:
+            for engine in [rep.engine for rep in self.replicas]:
+                engine.host = f"host-{self._host_seq % self._num_hosts}"
+                self._host_seq += 1
+        if self.detector is not None:
+            for rep in self.replicas:
+                rep.engine.enable_fencing()
+                self.detector.register(rep.replica_id, 0.0)
+                self._hb_next[rep.replica_id] = 0.0
 
     @property
     def engines(self) -> List[ServingEngine]:
@@ -156,6 +200,44 @@ class MultiGPUServer:
 
     # -- health ------------------------------------------------------------------
 
+    def _snapshots(self, engines: Sequence[ServingEngine]
+                   ) -> List[ReplicaHealth]:
+        """Health snapshots — oracle-based, or detector-based.
+
+        Without a detector this is the legacy omniscient view
+        (:meth:`~repro.runtime.engine.ServingEngine.health_snapshot`:
+        the fault schedule is consulted directly).  With one, the
+        cluster only knows what heartbeats told it: ``dead`` means
+        CONFIRMED_DEAD, and a SUSPECTED replica is flagged so scoring
+        discounts it and routing avoids it.
+        """
+        if self.detector is None:
+            return [e.health_snapshot() for e in engines]
+        out = []
+        for e in engines:
+            state = self.detector.state_of(e.engine_id)
+            out.append(ReplicaHealth(
+                dead=state is SuspicionState.CONFIRMED_DEAD,
+                queue_depth=e.num_live,
+                iter_ewma=e.iter_time_ewma,
+                suspected=state is SuspicionState.SUSPECTED,
+            ))
+        return out
+
+    @staticmethod
+    def _scores(snaps: Sequence[ReplicaHealth],
+                engines: Sequence[ServingEngine]) -> List[float]:
+        ewmas = sorted(
+            s.iter_ewma for s in snaps if s.iter_ewma is not None
+        )
+        peer = None
+        if ewmas:
+            mid = len(ewmas) // 2
+            peer = (ewmas[mid] if len(ewmas) % 2
+                    else (ewmas[mid - 1] + ewmas[mid]) / 2.0)
+        queue_norm = max(4 * e.config.max_batch_size for e in engines)
+        return [s.score(peer, queue_norm=queue_norm) for s in snaps]
+
     def health_scores(self,
                       engines: Optional[Sequence[ServingEngine]] = None,
                       ) -> List[float]:
@@ -167,17 +249,7 @@ class MultiGPUServer:
         engines = self.engines if engines is None else list(engines)
         if not engines:
             return []
-        snaps = [e.health_snapshot() for e in engines]
-        ewmas = sorted(
-            s.iter_ewma for s in snaps if s.iter_ewma is not None
-        )
-        peer = None
-        if ewmas:
-            mid = len(ewmas) // 2
-            peer = (ewmas[mid] if len(ewmas) % 2
-                    else (ewmas[mid - 1] + ewmas[mid]) / 2.0)
-        queue_norm = max(4 * e.config.max_batch_size for e in engines)
-        return [s.score(peer, queue_norm=queue_norm) for s in snaps]
+        return self._scores(self._snapshots(engines), engines)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -193,15 +265,19 @@ class MultiGPUServer:
         killed them), as are replicas outside the ACTIVE lifecycle state
         (WARMING replicas are not ready; DRAINING ones refuse new work);
         ``health_aware`` additionally drops replicas below
-        ``health_floor``.  If exclusion would leave nothing routable the
-        widest lifecycle-eligible set is returned — dispatch must place
-        every request somewhere, and failover / no-survivor abort
-        handles the rest.
+        ``health_floor``.  With a failure detector, SUSPECTED replicas
+        are excluded the same way dead ones are (drained, not killed:
+        their in-flight work keeps running, but no fresh traffic lands
+        on a replica that may be gone).  If exclusion would leave
+        nothing routable the widest lifecycle-eligible set is
+        returned — dispatch must place every request somewhere, and
+        failover / no-survivor abort handles the rest.
         """
-        scores = self.health_scores(engines)
-        dead = [e.health_snapshot().dead for e in engines]
+        snaps = self._snapshots(engines)
+        scores = self._scores(snaps, engines) if engines else []
         allowed = [i for i in range(len(engines))
-                   if not dead[i] and self._accepts_dispatch(engines[i])]
+                   if not snaps[i].dead and not snaps[i].suspected
+                   and self._accepts_dispatch(engines[i])]
         if self.health_aware:
             healthy = [i for i in allowed if scores[i] >= self.health_floor]
             if healthy:
@@ -213,14 +289,16 @@ class MultiGPUServer:
         return allowed, scores
 
     def submit(self, requests: Sequence[Request]) -> None:
-        """Accept requests: dispatch now (static) or queue (autoscaled).
+        """Accept requests: dispatch now (static) or queue (epoched).
 
         A static cluster places every request on a replica immediately,
         per the configured policy.  An autoscaled cluster cannot — the
-        replica a request should land on may not exist yet — so requests
-        wait in a cluster-level queue until their arrival epoch.
+        replica a request should land on may not exist yet — and a
+        detector-driven cluster must not (the replica it would pick may
+        already be silently dead), so both queue requests cluster-side
+        until their arrival epoch.
         """
-        if self.autoscaler is not None:
+        if self.autoscaler is not None or self.detector is not None:
             for r in requests:
                 heapq.heappush(
                     self._undispatched, (r.arrival_time, r.request_id, r)
@@ -298,15 +376,15 @@ class MultiGPUServer:
         """Run the cluster to completion; returns the merged metrics.
 
         Static clusters run every engine to completion with failover
-        (:meth:`_run_static`); autoscaled clusters run the epoched
-        lifecycle control loop (:meth:`_run_autoscaled`).  Either way
-        the returned collector folds cluster-level events (failover
-        requeues, requeue-limit and no-survivor aborts, scale events)
-        in with every replica's metrics, so ``summary()`` accounts for
-        every submitted request.
+        (:meth:`_run_static`); autoscaled and/or detector-driven
+        clusters run the epoched control loop (:meth:`_run_epoched`).
+        Either way the returned collector folds cluster-level events
+        (failover requeues, requeue-limit and no-survivor aborts, scale
+        events, fenced completions) in with every replica's metrics, so
+        ``summary()`` accounts for every submitted request.
         """
-        if self.autoscaler is not None:
-            return self._run_autoscaled(until)
+        if self.autoscaler is not None or self.detector is not None:
+            return self._run_epoched(until)
         return self._run_static(until)
 
     def _run_static(self, until: Optional[float]) -> MetricsCollector:
@@ -348,27 +426,33 @@ class MultiGPUServer:
             merged.merge_from(rep.engine.metrics)
         return merged
 
-    # -- autoscaled control loop ---------------------------------------------------
+    # -- epoched control loop (autoscaled and/or detector-driven) ------------------
 
-    def _run_autoscaled(self, until: Optional[float]) -> MetricsCollector:
-        """Epoched lifecycle loop: warm, dispatch, run, fail over, drain,
-        scale.
+    def _run_epoched(self, until: Optional[float]) -> MetricsCollector:
+        """Epoched lifecycle loop: warm, dispatch, run, detect/fail
+        over, drain, scale.
 
         Control time advances in ``interval_s`` steps.  Each epoch:
         replicas whose warm-up finished turn ACTIVE; due requests are
         dispatched to ACTIVE replicas; ACTIVE and DRAINING engines run
-        to the epoch boundary on their own sim clocks; failed replicas
-        hand their orphans back to the queue and die; empty (or
-        timed-out) DRAINING replicas retire; finally the autoscaler
-        observes queue depth and SLO attainment and may spawn or drain
-        a replica.  The loop ends when no undispatched or in-flight
-        work remains (or at ``until``).
+        to the epoch boundary on their own sim clocks.  Then, without a
+        detector, the legacy failure oracle retires failed replicas and
+        requeues their orphans.  With one, the cluster instead processes
+        what it *observed*: reachable replicas deliver their completion
+        outboxes (fenced), heartbeats are emitted/dropped/withheld per
+        the fault schedule, and the φ detector's transitions drive
+        suspicion, healing, and confirmed-death seizure.  Empty (or
+        timed-out) DRAINING replicas retire; finally the autoscaler —
+        when present — observes queue depth and SLO attainment and may
+        spawn or drain a replica.  The loop ends when no undispatched,
+        in-flight, or undelivered work remains (or at ``until``).
         """
-        assert self.autoscaler is not None
-        cfg = self.autoscaler.config
+        interval = (self.autoscaler.config.interval_s
+                    if self.autoscaler is not None
+                    else self.detector.config.interval_s)
         now = 0.0
         for _ in range(self._MAX_EPOCHS):
-            t_next = now + cfg.interval_s
+            t_next = now + interval
             if until is not None:
                 t_next = min(t_next, until)
             self._activate_warm(now)
@@ -376,21 +460,30 @@ class MultiGPUServer:
             for rep in self._members(ReplicaState.ACTIVE,
                                      ReplicaState.DRAINING):
                 rep.engine.run(until=t_next)
-            self._failover_pass(t_next)
-            self._drain_pass(t_next)
+            if self.detector is not None:
+                self._deliver_pass(t_next)
+                self._heartbeat_pass(t_next)
+                self._detector_pass(t_next)
+            else:
+                self._failover_pass(t_next)
+            if self.autoscaler is not None:
+                self._drain_pass(t_next)
             now = t_next
             if until is not None and now >= until:
                 break
             if self._quiescent():
                 break
-            self._scale_pass(now)
+            if self.autoscaler is not None:
+                self._scale_pass(now)
             self._abort_unplaceable(now)
         else:
             raise RuntimeError(
-                f"autoscaled cluster did not converge within "
+                f"epoched cluster did not converge within "
                 f"{self._MAX_EPOCHS} control epochs (t={now:.1f}s)"
             )
         self._finalize_lifetimes(now)
+        if self.detector is not None:
+            self._flush_zombie_mail()
         return self._merged_metrics()
 
     def _record_event(self, now: float, action: str, rep: Replica,
@@ -413,14 +506,32 @@ class MultiGPUServer:
                 self.cluster_metrics.warming_time_s += (
                     rep.warm_until - rep.spawned_at
                 )
+                if (self.detector is not None
+                        and rep.replica_id not in self._hb_next):
+                    # Watch from activation, not spawn — a warming
+                    # replica beats no heartbeats and must not be
+                    # suspected for it.
+                    self.detector.register(rep.replica_id, rep.warm_until)
+                    self._hb_next[rep.replica_id] = rep.warm_until
                 self._record_event(rep.warm_until, "activate", rep,
                                    "warm-up complete")
 
     def _dispatch_due(self, t_next: float) -> None:
         if not self._undispatched:
             return
-        active = [rep.engine for rep in self._members(ReplicaState.ACTIVE)
-                  if not rep.engine.failed]
+        if self.detector is not None:
+            # No oracle: route by *believed* health.  A silently-dead
+            # replica still ALIVE in the detector receives traffic —
+            # realistically stranding it until confirmation seizes it.
+            active = [
+                rep.engine for rep in self._members(ReplicaState.ACTIVE)
+                if self.detector.state_of(rep.replica_id)
+                is SuspicionState.ALIVE
+            ]
+        else:
+            active = [rep.engine
+                      for rep in self._members(ReplicaState.ACTIVE)
+                      if not rep.engine.failed]
         if not active:
             return  # hold the queue; warming/healing will provide capacity
         due: List[Request] = []
@@ -457,6 +568,193 @@ class MultiGPUServer:
                 self._requeue(orphans)
             self._retire(rep, max(t_next, e.clock.now), "fail",
                          "engine failed")
+
+    # -- failure-detection passes (detector mode only) -----------------------------
+
+    def _death_time(self, engine: ServingEngine) -> Optional[float]:
+        """When the engine actually stopped (observed or scheduled).
+
+        The fault schedule's death time precedes the engine's own
+        ``failed_at`` whenever the engine was idle at death (it only
+        notices on its next step) — heartbeats must stop at the real
+        instant, and detection latency is measured from it.
+        """
+        times = []
+        if engine.failed_at is not None:
+            times.append(engine.failed_at)
+        if engine.faults is not None:
+            scheduled = engine.faults.engine_failure_time(
+                engine.engine_id, host=engine.host)
+            if scheduled is not None:
+                times.append(scheduled)
+        return min(times) if times else None
+
+    def _accept(self, comp: Completion) -> None:
+        """Deliver one completion through the lease fence.
+
+        Accepted only when the token it was stamped with still equals
+        the request's current lease *and* no terminal was accepted for
+        the request before — otherwise it is a stale zombie replay,
+        counted and discarded.  ``token is None`` (never leased) cannot
+        happen for engine-terminal requests but is fenced defensively.
+        """
+        req = comp.request
+        if (comp.token is None or comp.token != req.lease
+                or req.request_id in self._accepted_rids):
+            self.cluster_metrics.fenced_completions += 1
+            return
+        self._accepted_rids.add(req.request_id)
+        if comp.kind == "finish":
+            self.cluster_metrics.records.append(comp.record)
+        else:
+            self.cluster_metrics.aborts.append(comp.record)
+
+    def _deliver_pass(self, t_next: float) -> None:
+        """Drain reachable replicas' outboxes; deliver healed zombies'.
+
+        A partitioned replica's outbox simply stays put (nothing it
+        emits reaches the cluster); when the partition heals, the
+        backlog — completions and withheld heartbeats alike — arrives
+        at the next epoch boundary.
+        """
+        for rep in self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
+                                 ReplicaState.DRAINING):
+            e = rep.engine
+            rid = e.engine_id
+            if (e.faults is not None
+                    and e.faults.partitioned(rid, t_next, host=e.host)):
+                self._was_partitioned[rid] = True
+                continue
+            if self._was_partitioned.pop(rid, False):
+                self.cluster_metrics.partition_heals += 1
+                self._record_event(t_next, "partition_heal", rep,
+                                   "backlog delivered")
+            for t in self._withheld_hb.pop(rid, []):
+                self.detector.heartbeat(rid, t)
+            if e.completion_outbox:
+                outbox, e.completion_outbox = e.completion_outbox, []
+                for comp in outbox:
+                    self._accept(comp)
+        # Confirmed-dead replicas whose partition healed deliver their
+        # seized mail late; every entry carries a pre-seizure token, so
+        # all of it fences.
+        for rid in sorted(self._zombie_mail):
+            rep = self._replica_of.get(rid)
+            e = rep.engine
+            if (e.faults is not None
+                    and e.faults.partitioned(rid, t_next, host=e.host)):
+                continue
+            for comp in self._zombie_mail.pop(rid):
+                self._accept(comp)
+
+    def _heartbeat_pass(self, t_next: float) -> None:
+        """Emit scheduled heartbeats up to the epoch boundary.
+
+        Per emission instant: a dead engine beats no more; a
+        ``HEARTBEAT_LOSS`` window drops the beat forever; a
+        ``NETWORK_PARTITION`` window withholds it for delivery on heal;
+        otherwise it reaches the detector immediately.
+        """
+        interval = self.detector.config.heartbeat_interval_s
+        for rep in self._members(ReplicaState.ACTIVE,
+                                 ReplicaState.DRAINING):
+            e = rep.engine
+            rid = e.engine_id
+            if rid not in self._hb_next:
+                continue
+            death = self._death_time(e)
+            t = self._hb_next[rid]
+            while t <= t_next:
+                if death is not None and t >= death:
+                    break
+                if e.faults is None:
+                    self.detector.heartbeat(rid, t)
+                elif e.faults.heartbeat_dropped(rid, t, host=e.host):
+                    pass
+                elif e.faults.partitioned(rid, t, host=e.host):
+                    self._withheld_hb.setdefault(rid, []).append(t)
+                else:
+                    self.detector.heartbeat(rid, t)
+                t += interval
+            self._hb_next[rid] = t
+
+    def _detector_pass(self, t_next: float) -> None:
+        """Apply the detector's state transitions at the epoch boundary.
+
+        SUSPECTED drains-without-killing (dispatch routes around, work
+        keeps running); SUSPECTED → ALIVE is a false suspicion healed
+        (the replica is re-admitted to dispatch automatically — routing
+        reads detector state live); CONFIRMED_DEAD seizes the lease.
+        """
+        cfg = self.detector.config
+        for rid, old, new in self.detector.evaluate(t_next):
+            rep = self._replica_of.get(rid)
+            if rep is None or rep.state is ReplicaState.DEAD:
+                continue
+            if new is SuspicionState.SUSPECTED:
+                self.cluster_metrics.suspicions += 1
+                self._record_event(
+                    t_next, "suspect", rep,
+                    f"phi >= {cfg.phi_suspect:g}")
+            elif new is SuspicionState.ALIVE:
+                self.cluster_metrics.false_suspicions += 1
+                self._record_event(t_next, "unsuspect", rep,
+                                   "heartbeats resumed")
+            else:
+                self._confirm_dead(rep, t_next)
+
+    def _confirm_dead(self, rep: Replica, t_next: float) -> None:
+        """Seize a confirmed-dead replica's lease and re-home its work.
+
+        Bumping ``lease_epoch`` first makes every result the replica
+        produced (or will yet produce, if it is a live zombie) stale by
+        construction.  Undelivered outbox entries become zombie mail —
+        their requests rewind and rejoin the queue; in-flight and
+        pending work drains as ordinary failover orphans.  Duplicate
+        *work* is the accepted cost; duplicate *terminals* are fenced.
+        """
+        e = rep.engine
+        rid = e.engine_id
+        e.lease_epoch += 1
+        self._withheld_hb.pop(rid, None)
+        self._was_partitioned.pop(rid, None)
+        death = self._death_time(e)
+        if death is not None and death <= t_next:
+            self.cluster_metrics.detection_latencies.append(t_next - death)
+        rewound: List[Request] = []
+        if e.completion_outbox:
+            outbox, e.completion_outbox = e.completion_outbox, []
+            for comp in outbox:
+                comp.request.reset_for_requeue(t_next)
+                rewound.append(comp.request)
+            self._zombie_mail.setdefault(rid, []).extend(outbox)
+        orphans = e.drain_orphans() + rewound
+        orphans = self._cap_requeues(orphans)
+        if orphans:
+            self._apply_requeue_backoff(orphans)
+            self.cluster_metrics.failover_events += len(orphans)
+            self._requeue(orphans)
+        self._retire(rep, max(t_next, e.clock.now), "fail",
+                     "confirmed dead")
+
+    def _flush_zombie_mail(self) -> None:
+        """End of run: fence whatever never became deliverable.
+
+        Zombie mail still undelivered (the partition never healed) and
+        outboxes stranded on live-but-unreachable replicas go through
+        the fence so ``fenced_completions`` accounts for every deferred
+        terminal — nothing is silently dropped.
+        """
+        for rid in sorted(self._zombie_mail):
+            for comp in self._zombie_mail[rid]:
+                self._accept(comp)
+        self._zombie_mail.clear()
+        for rep in self.replicas:
+            e = rep.engine
+            if e.completion_outbox:
+                outbox, e.completion_outbox = e.completion_outbox, []
+                for comp in outbox:
+                    self._accept(comp)
 
     def _drain_pass(self, t_next: float) -> None:
         """Retire empty DRAINING replicas; time out stuck drains.
@@ -507,12 +805,20 @@ class MultiGPUServer:
         queue_depth += sum(
             1 for arrival, _, _ in self._undispatched if arrival <= now
         )
+        num_suspected = 0
+        if self.detector is not None:
+            num_suspected = sum(
+                1 for rep in active
+                if self.detector.state_of(rep.replica_id)
+                is SuspicionState.SUSPECTED
+            )
         delta = self.autoscaler.observe(
             now,
             queue_depth=queue_depth,
             num_active=len(active),
             num_warming=len(warming),
             num_draining=len(draining),
+            num_suspected=num_suspected,
             slo_sample=self._slo_sample(),
         )
         if delta > 0:
@@ -551,6 +857,8 @@ class MultiGPUServer:
         return met / total
 
     def _can_spawn(self) -> bool:
+        if self.autoscaler is None:
+            return False  # detector-only clusters have a fixed replica set
         cfg = self.autoscaler.config
         members = self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
                                 ReplicaState.DRAINING)
@@ -572,6 +880,11 @@ class MultiGPUServer:
         cfg = self.autoscaler.config
         engine = self.engine_factory()
         engine.engine_id = self._fresh_replica_id()
+        if self._num_hosts:
+            engine.host = f"host-{self._host_seq % self._num_hosts}"
+            self._host_seq += 1
+        if self.detector is not None:
+            engine.enable_fencing()
         self._spawns_used += 1
         cold = estimate_cold_start_s(engine, cfg)
         stall = 1.0
@@ -626,8 +939,12 @@ class MultiGPUServer:
     def _quiescent(self) -> bool:
         if self._undispatched:
             return False
+        # Undelivered completions on a live (possibly partitioned)
+        # replica block quiescence: the loop keeps epoching until the
+        # partition heals and delivers, or confirmation seizes them.
+        # Zombie mail never blocks — it only ever fences.
         return all(
-            rep.engine.num_live == 0
+            rep.engine.num_live == 0 and not rep.engine.completion_outbox
             for rep in self._members(ReplicaState.WARMING,
                                      ReplicaState.ACTIVE,
                                      ReplicaState.DRAINING)

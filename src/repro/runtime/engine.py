@@ -30,10 +30,11 @@ from repro.models.costs import IterationCostModel
 from repro.runtime.adapters import AdapterManager
 from repro.runtime.clock import SimClock
 from repro.runtime.costcache import BatchSignature, IterationCostCache
+from repro.runtime.failure_detection import Completion
 from repro.runtime.faults import FaultInjector
 from repro.runtime.kv_cache import PagedKVCache
 from repro.runtime.memory import UnifiedMemoryManager
-from repro.runtime.metrics import MetricsCollector
+from repro.runtime.metrics import AbortRecord, MetricsCollector, RequestRecord
 from repro.runtime.modes import InferenceMode, ModeExecutor
 from repro.runtime.overload import (
     AdapterBreaker,
@@ -188,8 +189,21 @@ class ServingEngine:
         # -- resilience state (fault injection / graceful degradation) -----
         self.faults = fault_injector
         self.engine_id = engine_id
+        #: Failure-domain placement (``HOST_FAIL`` kills every engine on
+        #: a host).  Assigned by the cluster; None = no correlated domain.
+        self.host: Optional[str] = None
         self.failed = False
         self.failed_at: Optional[float] = None
+        # -- lease fencing (runtime/failure_detection.py) ------------------
+        #: Bumped by the cluster when it seizes this replica's lease
+        #: (confirmed dead); completions stamped with an older epoch are
+        #: fenced on delivery.
+        self.lease_epoch = 0
+        #: With fencing on, terminal metric recording is deferred: the
+        #: engine appends a :class:`Completion` here and the cluster
+        #: drains it at epoch boundaries (withheld while partitioned).
+        self._fencing = False
+        self.completion_outbox: List[Completion] = []
         #: Quiesced engines refuse new work (cluster drain; see
         #: :meth:`quiesce`) but keep running what they already hold.
         self.quiesced = False
@@ -237,9 +251,24 @@ class ServingEngine:
             )
         for r in requests:
             self.adapters.spec(r.adapter_id)  # validate adapter exists
+            if self._fencing:
+                r.lease = (self.engine_id, self.lease_epoch)
             heapq.heappush(
                 self._pending, (r.arrival_time, r.request_id, r)
             )
+
+    def enable_fencing(self) -> None:
+        """Switch terminal recording to the fenced completion outbox.
+
+        The cluster enables this on every replica when a failure
+        detector drives the run: dispatch stamps each request with this
+        engine's ``(engine_id, lease_epoch)`` token, and terminal events
+        go to :attr:`completion_outbox` instead of directly into
+        :attr:`metrics` — the cluster accepts or fences them on
+        delivery.  Never enabled for standalone engines (bit-identical
+        legacy path).
+        """
+        self._fencing = True
 
     @property
     def num_live(self) -> int:
@@ -303,7 +332,8 @@ class ServingEngine:
         if self.failed:
             return
         if (self.faults is not None
-                and self.faults.engine_failed(self.engine_id, self.clock.now)):
+                and self.faults.engine_failed(self.engine_id, self.clock.now,
+                                              host=self.host)):
             self._fail()
             return
         self._admit_arrivals()
@@ -423,7 +453,7 @@ class ServingEngine:
             _, _, req = heapq.heappop(self._pending)
             if self._breakers and not self._breaker_admits(req.adapter_id, now):
                 req.abort(now, AbortReason.ADAPTER_UNAVAILABLE)
-                self.metrics.record_abort(req)
+                self._record_terminal_abort(req)
                 continue
             if self._admission is not None and self._reject_at_door(req, now):
                 continue
@@ -489,7 +519,7 @@ class ServingEngine:
         if verdict is None:
             return False
         req.abort(now, AbortReason.ADMISSION_REJECTED)
-        self.metrics.record_abort(req)
+        self._record_terminal_abort(req)
         self.metrics.admission_rejections += 1
         return True
 
@@ -540,7 +570,22 @@ class ServingEngine:
         self._reused_tokens.pop(req.request_id, None)
         req.abort(self.clock.now, reason)
         self._drop_active(req)
-        self.metrics.record_abort(req)
+        self._record_terminal_abort(req)
+
+    def _record_terminal_abort(self, req: Request) -> None:
+        """Record one abort — directly, or deferred through the outbox.
+
+        All terminal recording funnels through here / :meth:`_finalize`
+        so that lease fencing covers every way a request can end on
+        this engine, not just the happy path.
+        """
+        if self._fencing:
+            self.completion_outbox.append(Completion(
+                request=req, token=req.lease, kind="abort",
+                record=AbortRecord.from_request(req), time=self.clock.now,
+            ))
+        else:
+            self.metrics.record_abort(req)
 
     def _effective_deadline(self, req: Request) -> Optional[float]:
         if req.deadline_s is not None:
@@ -693,7 +738,7 @@ class ServingEngine:
             r = entry[2]
             if r.adapter_id == adapter_id:
                 r.abort(self.clock.now, AbortReason.ADAPTER_UNAVAILABLE)
-                self.metrics.record_abort(r)
+                self._record_terminal_abort(r)
             else:
                 still_pending.append(entry)
         heapq.heapify(still_pending)
@@ -778,7 +823,8 @@ class ServingEngine:
         """
         dead = self.failed or (
             self.faults is not None
-            and self.faults.engine_failed(self.engine_id, self.clock.now)
+            and self.faults.engine_failed(self.engine_id, self.clock.now,
+                                          host=self.host)
         )
         return ReplicaHealth(
             dead=dead,
@@ -1134,4 +1180,10 @@ class ServingEngine:
             self.kv.free(r.request_id)
             self._reused_tokens.pop(r.request_id, None)
             self._drop_active(r)
-            self.metrics.complete(r)
+            if self._fencing:
+                self.completion_outbox.append(Completion(
+                    request=r, token=r.lease, kind="finish",
+                    record=RequestRecord.from_request(r), time=now,
+                ))
+            else:
+                self.metrics.complete(r)

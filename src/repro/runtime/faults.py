@@ -20,6 +20,14 @@ Design points:
 * **Engine failures are permanent** — an ``ENGINE_FAIL`` spec marks its
   target dead from ``start`` onward; the cluster layer requeues the
   dead engine's in-flight requests onto survivors.
+* **Gray failures are windows, not deaths** — ``NETWORK_PARTITION``
+  leaves the target alive and computing but withholds its heartbeats
+  and completions until the window closes (delivered on heal);
+  ``HEARTBEAT_LOSS`` silently drops heartbeats while work continues
+  unaffected.  Both are only observable through the failure detector
+  (:mod:`repro.runtime.failure_detection`), never through the legacy
+  oracle.  ``HOST_FAIL`` is a correlated domain failure: it targets a
+  *host* id and permanently kills every replica placed on that host.
 """
 
 from __future__ import annotations
@@ -42,6 +50,25 @@ class FaultKind(enum.Enum):
     ENGINE_SLOW = "engine_slow"               # straggler: iterations magnitude× slower
     LOAD_BURST = "load_burst"                 # arrivals magnitude× denser (overload)
     SCALE_STALL = "scale_stall"               # replica warm-up magnitude× slower
+    NETWORK_PARTITION = "network_partition"   # alive, but heartbeats/results withheld
+    HEARTBEAT_LOSS = "heartbeat_loss"         # heartbeats dropped, work unaffected
+    HOST_FAIL = "host_fail"                   # whole host dies at `start` (permanent)
+
+
+class FaultSpecError(ValueError):
+    """A :class:`FaultSpec` was constructed with nonsense parameters.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` keep working; new code can catch the typed error.
+    """
+
+
+#: Kinds whose start marks a permanent death rather than a window.
+_PERMANENT_KINDS = (FaultKind.ENGINE_FAIL, FaultKind.HOST_FAIL)
+
+#: Kinds whose magnitude is a multiplicative slowdown (must be >= 1).
+_FACTOR_KINDS = (FaultKind.ADAPTER_SWAP_SLOW, FaultKind.ENGINE_SLOW,
+                 FaultKind.LOAD_BURST, FaultKind.SCALE_STALL)
 
 
 @dataclass(frozen=True)
@@ -50,7 +77,10 @@ class FaultSpec:
 
     ``magnitude`` means: slowdown factor for ``*_SLOW`` kinds (>= 1),
     fraction of KV blocks made unusable for ``KV_PRESSURE`` (in [0, 1)),
-    and is ignored for ``ADAPTER_SWAP_FAIL`` / ``ENGINE_FAIL``.
+    and is ignored for the on/off kinds (``ADAPTER_SWAP_FAIL``,
+    ``ENGINE_FAIL``, ``HOST_FAIL``, ``NETWORK_PARTITION``,
+    ``HEARTBEAT_LOSS``).  ``HOST_FAIL`` targets a *host* id; every
+    other targeted kind names an adapter or engine id.
     """
 
     kind: FaultKind
@@ -60,23 +90,24 @@ class FaultSpec:
     target: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.start < 0:
-            raise ValueError(f"start must be >= 0, got {self.start}")
-        if self.duration <= 0:
-            raise ValueError(f"duration must be positive, got {self.duration}")
+        if math.isnan(self.start) or self.start < 0:
+            raise FaultSpecError(f"start must be >= 0, got {self.start}")
+        if math.isnan(self.duration) or self.duration <= 0:
+            raise FaultSpecError(
+                f"duration must be positive, got {self.duration}")
+        if math.isnan(self.magnitude):
+            raise FaultSpecError("magnitude must not be NaN")
         if self.kind is FaultKind.KV_PRESSURE and not 0.0 <= self.magnitude < 1.0:
-            raise ValueError(
+            raise FaultSpecError(
                 f"KV_PRESSURE magnitude must be in [0, 1), got {self.magnitude}"
             )
-        if (self.kind in (FaultKind.ADAPTER_SWAP_SLOW, FaultKind.ENGINE_SLOW,
-                          FaultKind.LOAD_BURST, FaultKind.SCALE_STALL)
-                and self.magnitude < 1.0):
-            raise ValueError(
+        if self.kind in _FACTOR_KINDS and self.magnitude < 1.0:
+            raise FaultSpecError(
                 f"{self.kind.value} magnitude must be >= 1, got {self.magnitude}"
             )
 
     def active_at(self, now: float) -> bool:
-        if self.kind is FaultKind.ENGINE_FAIL:
+        if self.kind in _PERMANENT_KINDS:
             return now >= self.start  # permanent
         return self.start <= now < self.start + self.duration
 
@@ -143,8 +174,61 @@ class FaultInjector:
             return 0.0
         return min(max(s.magnitude for s in windows), 0.999)
 
-    def engine_failed(self, engine_id: str, now: float) -> bool:
-        return bool(self._active(FaultKind.ENGINE_FAIL, now, engine_id))
+    def engine_failed(self, engine_id: str, now: float,
+                      host: Optional[str] = None) -> bool:
+        """Dead at ``now`` — individually or via its host's ``HOST_FAIL``."""
+        if self._active(FaultKind.ENGINE_FAIL, now, engine_id):
+            return True
+        return host is not None and bool(
+            self._active(FaultKind.HOST_FAIL, now, host))
+
+    def engine_failure_time(self, engine_id: str,
+                            host: Optional[str] = None) -> Optional[float]:
+        """Scheduled death time of ``engine_id`` (earliest), or None.
+
+        The heartbeat model needs the *actual* instant a replica stops
+        beating — which precedes detection by exactly the latency the
+        detector is being measured on.
+        """
+        times = [
+            s.start for s in self.specs
+            if (s.kind is FaultKind.ENGINE_FAIL and s.matches(engine_id))
+            or (host is not None and s.kind is FaultKind.HOST_FAIL
+                and s.matches(host))
+        ]
+        return min(times) if times else None
+
+    def partitioned(self, engine_id: str, now: float,
+                    host: Optional[str] = None) -> bool:
+        """Inside a ``NETWORK_PARTITION`` window at ``now``?
+
+        A partitioned replica is alive and computing, but nothing it
+        emits (heartbeats, completions) reaches the cluster until the
+        window closes.  A spec may target the engine id, the host id
+        (correlated partition of a whole host), or everyone (None).
+        """
+        if self._active(FaultKind.NETWORK_PARTITION, now, engine_id):
+            return True
+        return host is not None and any(
+            s.target == host
+            for s in self._active(FaultKind.NETWORK_PARTITION, now, host)
+        )
+
+    def heartbeat_dropped(self, engine_id: str, now: float,
+                          host: Optional[str] = None) -> bool:
+        """Inside a ``HEARTBEAT_LOSS`` window at ``now``?
+
+        Unlike a partition, dropped heartbeats are gone forever (the
+        loss is on the monitoring path only; work and completions flow
+        normally) — the purest gray failure: the detector may suspect a
+        perfectly healthy replica.
+        """
+        if self._active(FaultKind.HEARTBEAT_LOSS, now, engine_id):
+            return True
+        return host is not None and any(
+            s.target == host
+            for s in self._active(FaultKind.HEARTBEAT_LOSS, now, host)
+        )
 
     def engine_slowdown(self, engine_id: str, now: float) -> float:
         factor = 1.0
@@ -217,18 +301,28 @@ class FaultInjector:
         engine_fail_rate: float = 0.0,
         load_burst_rate: float = 0.0,
         scale_stall_rate: float = 0.0,
+        partition_rate: float = 0.0,
+        heartbeat_loss_rate: float = 0.0,
+        host_fail_rate: float = 0.0,
+        host_ids: Sequence[str] = (),
         swap_window_s: float = 0.25,
         kv_window_s: float = 1.0,
         straggler_window_s: float = 2.0,
         burst_window_s: float = 2.0,
         stall_window_s: float = 3.0,
+        partition_window_s: float = 2.0,
+        hb_loss_window_s: float = 1.0,
     ) -> "FaultInjector":
         """Poisson-schedule fault windows over ``[0, horizon_s)``.
 
         All ``*_rate`` parameters are events per simulated second.  At
         most one ``ENGINE_FAIL`` is drawn per engine (a GPU dies once);
         ``engine_fail_rate`` sets the per-engine probability via
-        ``min(1, rate * horizon)``.
+        ``min(1, rate * horizon)``.  ``HOST_FAIL`` works the same way
+        per host id.  The gray-failure draws (partition, heartbeat
+        loss, host fail) come *after* every legacy draw, so schedules
+        generated with the new rates at 0 are byte-identical to what
+        older code produced for the same seed.
         """
         if horizon_s <= 0:
             raise ValueError(f"horizon_s must be positive, got {horizon_s}")
@@ -287,5 +381,23 @@ class FaultInjector:
                         FaultKind.ENGINE_FAIL,
                         float(rng.uniform(0.0, horizon_s)),
                         target=engine_id,
+                    ))
+        # Gray-failure draws: strictly after all legacy draws (see
+        # docstring — keeps old seeds byte-identical at zero rates).
+        for engine_id in engine_ids:
+            for start, dur in windows(partition_rate, partition_window_s):
+                specs.append(FaultSpec(FaultKind.NETWORK_PARTITION, start,
+                                       dur, target=engine_id))
+            for start, dur in windows(heartbeat_loss_rate, hb_loss_window_s):
+                specs.append(FaultSpec(FaultKind.HEARTBEAT_LOSS, start, dur,
+                                       target=engine_id))
+        for host_id in host_ids:
+            if host_fail_rate > 0:
+                p = min(host_fail_rate * horizon_s, 1.0)
+                if rng.uniform() < p:
+                    specs.append(FaultSpec(
+                        FaultKind.HOST_FAIL,
+                        float(rng.uniform(0.0, horizon_s)),
+                        target=host_id,
                     ))
         return cls(specs)

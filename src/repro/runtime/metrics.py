@@ -169,6 +169,19 @@ class MetricsCollector:
     draining_time_s: float = 0.0
     #: Replica-seconds paid (spawn to death), the bench's cost metric.
     gpu_seconds_total: float = 0.0
+    # -- gray-failure detection (runtime/failure_detection.py) -------------
+    #: ALIVE → SUSPECTED transitions (replica drained, not killed).
+    suspicions: int = 0
+    #: SUSPECTED → ALIVE healings (the silence was a gray failure).
+    false_suspicions: int = 0
+    #: Stale completions discarded by lease fencing (zombie replays).
+    fenced_completions: int = 0
+    #: NETWORK_PARTITION windows that closed with the replica still live.
+    partition_heals: int = 0
+    #: Per confirmed-dead replica: seconds from actual death to the
+    #: detector's CONFIRMED_DEAD verdict (false confirmations excluded —
+    #: a partitioned-but-alive replica has no death to measure from).
+    detection_latencies: List[float] = field(default_factory=list)
 
     def complete(self, req: Request) -> None:
         self.records.append(RequestRecord.from_request(req))
@@ -340,6 +353,11 @@ class MetricsCollector:
         self.warming_time_s += other.warming_time_s
         self.draining_time_s += other.draining_time_s
         self.gpu_seconds_total += other.gpu_seconds_total
+        self.suspicions += other.suspicions
+        self.false_suspicions += other.false_suspicions
+        self.fenced_completions += other.fenced_completions
+        self.partition_heals += other.partition_heals
+        self.detection_latencies.extend(other.detection_latencies)
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for bench JSON dumps).
@@ -379,10 +397,17 @@ class MetricsCollector:
                     "scale_up_events", "scale_down_events",
                     "replicas_spawned", "replicas_retired", "scale_stalls",
                     "drain_timeouts", "drain_requeues", "warming_time_s",
-                    "draining_time_s", "gpu_seconds_total"):
+                    "draining_time_s", "gpu_seconds_total",
+                    "suspicions", "false_suspicions", "fenced_completions",
+                    "partition_heals"):
             value = getattr(self, key)
             if value:
                 out[key] = float(value)
+        if self.detection_latencies:
+            out["detection_latency_p50_s"] = float(
+                np.percentile(self.detection_latencies, 50))
+            out["detection_latency_p99_s"] = float(
+                np.percentile(self.detection_latencies, 99))
         if self.slo_attainment() is not None:
             out["slo_attainment"] = self.slo_attainment()
         return out

@@ -448,11 +448,15 @@ class ReplicaHealth:
     with its EWMA iteration slowdown relative to its peers and with its
     queue depth relative to ``queue_norm`` — both symptoms precede
     outright failure, which is the point of routing around them early.
+    A ``suspected`` replica (failure detector past ``phi_suspect`` but
+    not yet confirmed) keeps a nonzero score — it may well be alive —
+    but is heavily discounted so dispatch prefers any unsuspected peer.
     """
 
     dead: bool
     queue_depth: int
     iter_ewma: Optional[float]
+    suspected: bool = False
 
     def score(self, peer_iter_ewma: Optional[float],
               queue_norm: int = 64) -> float:
@@ -463,4 +467,7 @@ class ReplicaHealth:
                 and peer_iter_ewma > 0):
             slowdown = max(1.0, self.iter_ewma / peer_iter_ewma)
         queue_penalty = 1.0 + self.queue_depth / max(1, queue_norm)
-        return 1.0 / (slowdown * queue_penalty)
+        score = 1.0 / (slowdown * queue_penalty)
+        if self.suspected:
+            score *= 0.25
+        return score

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class RequestStatus(enum.Enum):
@@ -112,6 +112,12 @@ class Request:
     #: churn never burns the failover budget (``max_requeues``) of a
     #: request whose hosts never actually failed.
     drain_hops: int = 0
+    #: Fencing token ``(replica_id, lease_epoch)`` stamped at dispatch
+    #: when lease fencing is on.  A completion is only accepted while
+    #: the delivering engine's token still equals this lease; seizure
+    #: (confirmed death → re-dispatch) clears it, so a zombie replica's
+    #: late result can never double-terminate the request.
+    lease: Optional[Tuple[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.input_tokens <= 0:
@@ -225,6 +231,7 @@ class Request:
         self.abort_time = None
         self.abort_reason = None
         self.credit = 0.0
+        self.lease = None
         if count_hop:
             self.requeues += 1
         else:

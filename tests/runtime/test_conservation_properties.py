@@ -22,6 +22,8 @@ from repro.core import SystemBuilder
 from repro.runtime import (
     AutoscaleConfig,
     Autoscaler,
+    FailureDetector,
+    FailureDetectorConfig,
     FaultInjector,
     FaultKind,
     FaultSpec,
@@ -162,6 +164,43 @@ def test_autoscaled_cluster_exactly_once_under_chaos(requests, seed):
     # one initial replica plus every spawn, each with a finite lifetime.
     assert metrics.replicas_spawned == len(server.replicas) - 1
     assert metrics.gpu_seconds_total > 0.0
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces(), seed=st.integers(0, 31))
+def test_detector_cluster_exactly_once_under_partition_storm(requests, seed):
+    """Gray failures everywhere — partitions, heartbeat loss, correlated
+    host deaths, true engine deaths — with an aggressive detector that
+    confirms quickly (maximizing false confirmations and zombie replay).
+    Exactly-once must survive: every stale completion a zombie replays
+    is fenced, never double-terminating a request."""
+    reset_request_ids()
+    injector = FaultInjector.random(
+        horizon_s=20.0, seed=seed, adapter_ids=ADAPTER_IDS,
+        engine_ids=("gpu-0", "gpu-1"), host_ids=("host-0", "host-1"),
+        partition_rate=0.3, heartbeat_loss_rate=0.2,
+        engine_fail_rate=0.05, host_fail_rate=0.03, engine_slow_rate=0.1,
+    )
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        deadline_slo_factor=4.0, fault_injector=injector,
+    )
+    detector = FailureDetector(FailureDetectorConfig(
+        phi_suspect=1.0, phi_confirm=3.0))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 2, detector=detector,
+        num_hosts=2, max_requeues=4,
+    )
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert server._undispatched == []
+    # Zombie outboxes were fully reconciled: every withheld result was
+    # either accepted once or fenced, never left pending.
+    for rep in server.replicas:
+        assert rep.engine.completion_outbox == []
+    assert not server._zombie_mail
 
 
 def _long_requests(n, output_tokens=192, arrival=0.0):

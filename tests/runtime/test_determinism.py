@@ -25,6 +25,8 @@ from repro.core import SystemBuilder
 from repro.runtime import (
     AutoscaleConfig,
     Autoscaler,
+    FailureDetector,
+    FailureDetectorConfig,
     FaultInjector,
     FaultKind,
     FaultSpec,
@@ -126,11 +128,38 @@ def _run_autoscaled(seed):
     return fp
 
 
+def _run_partition_chaos(seed):
+    """Gray-failure chaos: partitions, heartbeat loss, correlated host
+    deaths, true engine deaths — under an aggressive φ-accrual detector
+    with lease fencing.  Pins heartbeat scheduling, withheld-delivery
+    ordering, lease-epoch bumps, and zombie fencing to the golden."""
+    injector = FaultInjector.random(
+        horizon_s=10.0, seed=seed, adapter_ids=ADAPTER_IDS,
+        engine_ids=("gpu-0", "gpu-1", "gpu-2"),
+        host_ids=("host-0", "host-1"),
+        partition_rate=0.25, heartbeat_loss_rate=0.15,
+        engine_fail_rate=0.1, host_fail_rate=0.05,
+    )
+    builder = SystemBuilder(
+        num_adapters=4, max_batch_size=8, fault_injector=injector,
+        deadline_slo_factor=4.0,
+    )
+    detector = FailureDetector(FailureDetectorConfig(
+        phi_suspect=1.0, phi_confirm=3.0))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 3, max_requeues=3,
+        detector=detector, num_hosts=2,
+    )
+    server.submit(_retrieval(seed, rate_rps=20.0))
+    return _fingerprint(server.run())
+
+
 SCENARIOS = {
     "engine": _run_engine,
     "cluster": _run_cluster,
     "chaos": _run_chaos,
     "autoscaled": _run_autoscaled,
+    "partition_chaos": _run_partition_chaos,
 }
 
 

@@ -10,6 +10,7 @@ from repro.runtime import (
     FaultInjector,
     FaultKind,
     FaultSpec,
+    FaultSpecError,
     InferenceMode,
     MultiGPUServer,
     Request,
@@ -50,6 +51,36 @@ class TestFaultSpec:
             FaultSpec(FaultKind.ENGINE_SLOW, start=0.0, magnitude=0.5)
         with pytest.raises(ValueError):
             FaultSpec(FaultKind.ADAPTER_SWAP_FAIL, start=-1.0)
+
+    def test_validation_raises_typed_error(self):
+        # FaultSpecError subclasses ValueError (old handlers keep working).
+        assert issubclass(FaultSpecError, ValueError)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.NETWORK_PARTITION, start=-0.5)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.HEARTBEAT_LOSS, start=0.0, duration=0.0)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.ENGINE_FAIL, start=0.0, duration=-1.0)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.KV_PRESSURE, start=0.0, magnitude=-0.1)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.KV_PRESSURE, start=0.0, magnitude=1.0)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.SCALE_STALL, start=0.0, magnitude=0.9)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.LOAD_BURST, start=0.0, magnitude=0.5)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.KV_PRESSURE, start=math.nan)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.KV_PRESSURE, start=0.0, duration=math.nan)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(FaultKind.KV_PRESSURE, start=0.0, magnitude=math.nan)
+
+    def test_host_fail_is_permanent(self):
+        s = FaultSpec(FaultKind.HOST_FAIL, start=2.0, duration=0.1,
+                      target="host-0")
+        assert not s.active_at(1.9)
+        assert s.active_at(1e9)
 
     def test_dict_roundtrip(self):
         s = FaultSpec(FaultKind.ADAPTER_SWAP_SLOW, start=2.0, duration=1.0,
@@ -96,6 +127,56 @@ class TestFaultInjector:
                                    swap_fail_rate=1.0, kv_pressure_rate=0.5)
         clone = FaultInjector.from_dicts(inj.to_dicts())
         assert clone.specs == inj.specs
+
+    def test_gray_rates_at_zero_keep_old_seeds_identical(self):
+        # The gray-failure draws must come after every legacy draw so
+        # that schedules with the new rates at 0 reproduce old seeds.
+        kwargs = dict(
+            horizon_s=30.0, adapter_ids=["lora-0", "lora-1"],
+            engine_ids=["gpu-0", "gpu-1"],
+            swap_fail_rate=0.5, swap_slow_rate=0.3, kv_pressure_rate=0.2,
+            engine_slow_rate=0.1, engine_fail_rate=0.02,
+            load_burst_rate=0.1, scale_stall_rate=0.1,
+        )
+        legacy = FaultInjector.random(seed=7, **kwargs)
+        explicit = FaultInjector.random(
+            seed=7, partition_rate=0.0, heartbeat_loss_rate=0.0,
+            host_fail_rate=0.0, host_ids=("host-0",), **kwargs)
+        assert legacy.specs == explicit.specs
+
+    def test_random_draws_gray_failure_kinds(self):
+        inj = FaultInjector.random(
+            horizon_s=30.0, seed=11, engine_ids=["gpu-0", "gpu-1"],
+            host_ids=["host-0"], partition_rate=0.3,
+            heartbeat_loss_rate=0.3, host_fail_rate=1.0,
+        )
+        counts = inj.counts_by_kind()
+        assert counts.get("network_partition", 0) > 0
+        assert counts.get("heartbeat_loss", 0) > 0
+        assert counts.get("host_fail", 0) == 1
+
+    def test_partition_and_heartbeat_queries(self):
+        inj = FaultInjector([
+            FaultSpec(FaultKind.NETWORK_PARTITION, 1.0, 2.0, target="gpu-0"),
+            FaultSpec(FaultKind.HEARTBEAT_LOSS, 4.0, 1.0, target="host-0"),
+        ])
+        assert inj.partitioned("gpu-0", 1.5)
+        assert not inj.partitioned("gpu-0", 3.0)   # window closed
+        assert not inj.partitioned("gpu-1", 1.5)   # wrong target
+        assert inj.heartbeat_dropped("gpu-1", 4.5, host="host-0")
+        assert not inj.heartbeat_dropped("gpu-1", 4.5, host="host-1")
+        assert not inj.heartbeat_dropped("gpu-1", 4.5)
+
+    def test_engine_failure_time_spans_host_faults(self):
+        inj = FaultInjector([
+            FaultSpec(FaultKind.ENGINE_FAIL, 5.0, target="gpu-0"),
+            FaultSpec(FaultKind.HOST_FAIL, 2.0, target="host-0"),
+        ])
+        assert inj.engine_failure_time("gpu-0") == 5.0
+        assert inj.engine_failure_time("gpu-0", host="host-0") == 2.0
+        assert inj.engine_failure_time("gpu-1", host="host-1") is None
+        assert inj.engine_failed("gpu-1", 3.0, host="host-0")
+        assert not inj.engine_failed("gpu-1", 1.0, host="host-0")
 
 
 class TestKVReservation:
