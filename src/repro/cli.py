@@ -46,6 +46,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run one serving simulation")
     _common_serving_args(serve)
     serve.add_argument("--system", default="v-lora", choices=SYSTEM_NAMES)
+    serve.add_argument("--core", default="object", choices=("object", "soa"),
+                       help="engine core: 'object' (default) or the "
+                            "vectorized 'soa' array core (single-GPU only; "
+                            "identical metrics, much faster on big traces)")
     serve.add_argument("--trace-out", default=None,
                        help="save the generated workload as a JSONL trace")
     serve.add_argument("--trace-in", default=None,
@@ -459,6 +463,10 @@ def cmd_serve(args) -> int:
                             brownout=brownout,
                             breaker=breaker)
     if args.num_gpus > 1 or args.autoscale or args.detector:
+        if args.core != "object":
+            print("--core soa is single-GPU only (no --num-gpus/--autoscale/"
+                  "--detector)", file=sys.stderr)
+            return 2
         from repro.runtime import (
             AutoscaleConfig,
             Autoscaler,
@@ -499,7 +507,13 @@ def cmd_serve(args) -> int:
             detector=detector, num_hosts=args.num_hosts,
         )
     else:
-        engine = builder.build(args.system)
+        try:
+            engine = builder.build(args.system, core=args.core)
+        except ValueError as exc:
+            if args.core == "object":
+                raise
+            print(f"--core soa: {exc}", file=sys.stderr)
+            return 2
     if args.trace_in:
         try:
             requests = load_trace(args.trace_in)

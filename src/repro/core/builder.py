@@ -149,16 +149,30 @@ class SystemBuilder:
 
     # -- assembly --------------------------------------------------------------------
 
-    def build(self, system: str, engine_cls=None) -> ServingEngine:
+    def build(self, system: str, engine_cls=None,
+              core: str = "object") -> ServingEngine:
         """Construct a fresh engine for the named system.
 
         ``engine_cls`` swaps in an alternative engine implementation
         with the same constructor (e.g. the seed-baseline snapshot used
-        by ``benchmarks/bench_sim_throughput.py``).
+        by ``benchmarks/bench_sim_throughput.py``).  ``core`` selects
+        between the default per-object engine (``"object"``) and the
+        structure-of-arrays batch-advanced engine (``"soa"``, see
+        :mod:`repro.runtime.soa_core`) — result-identical for supported
+        configurations, much faster on large traces.
         """
         system = system.lower()
         if system == "vlora":
             system = "v-lora"
+        if core not in ("object", "soa"):
+            raise ValueError(
+                f"unknown core {core!r}; expected 'object' or 'soa'"
+            )
+        if core == "soa":
+            if engine_cls is not None:
+                raise ValueError("pass either engine_cls or core='soa'")
+            from repro.runtime.soa_core import SoAServingEngine
+            engine_cls = SoAServingEngine
         cost_model = GemmCostModel(self.gpu)
         operator = self._operator(system, cost_model)
         policy = self._policy(system)

@@ -52,6 +52,21 @@ class ATMMOperator(LoRAOperator):
         # the paper's "compile kernels for every possible input shape"
         # guarantee without enumerating the world up front.
         self._searcher: Optional[TilingSearch] = None
+        # (m, k, n) -> TilingConfig: one dict probe on the serving hot
+        # path instead of contains() + lookup() (each of which re-packs
+        # the shape key).  Safe to memoize — table entries are
+        # insert-once and the profile-on-miss happens before the first
+        # memo write for a shape.
+        self._cfg_memo: dict = {}
+        # (layers, hidden, rank, projections, fuse) -> seconds: the
+        # switcher re-costs ΔW on every mode-switch estimate and the
+        # result is a pure function of these five ints.
+        self._dw_memo: dict = {}
+        # (token_counts, ranks, hidden) -> seconds.  Adapter-identity-
+        # free: two batches whose group token counts land in the same
+        # order share an entry even when the adapters differ, so this
+        # dedupes across merged-adapter choices and across modes.
+        self._pair_memo: dict = {}
 
     @classmethod
     def for_gpu(cls, gpu: GPUSpec, **kwargs) -> "ATMMOperator":
@@ -96,10 +111,46 @@ class ATMMOperator(LoRAOperator):
         ranks: Sequence[int],
         hidden_dim: int,
     ) -> float:
-        shrink, expand = self._grouped(token_counts, ranks, hidden_dim)
-        t = self.cost_model.grouped_seconds(shrink, self.select_config(shrink))
-        t += self.cost_model.grouped_seconds(expand, self.select_config(expand))
+        # Shape-free fast path: the (shrink, expand) grouped GEMMs are
+        # fully described by the dimension lists — shrink group i is
+        # ``(m_i × d) @ (d × r_i)``, expand is ``(m_i × r_i) @ (r_i × d)``
+        # — so the cost model is driven via grouped_seconds_mnk without
+        # building GemmShape/GroupedGemm objects (pure per-call churn on
+        # the serving engine's cost-miss path).  Config selection keys
+        # match select_config exactly: aggregate m, the group K, max N.
+        token_counts, ranks = self._validated(token_counts, ranks)
+        if hidden_dim <= 0:
+            raise ValueError(
+                f"GEMM dims must be positive, got hidden_dim={hidden_dim}"
+            )
+        key = (tuple(token_counts), tuple(ranks), hidden_dim)
+        memoized = self._pair_memo.get(key)
+        if memoized is not None:
+            return memoized
+        total_m = sum(token_counts)
+        hiddens = [hidden_dim] * len(token_counts)
+        t = self.cost_model.grouped_seconds_mnk(
+            token_counts, hiddens, ranks,
+            self._config_for(total_m, hidden_dim, max(ranks)),
+        )
+        t += self.cost_model.grouped_seconds_mnk(
+            token_counts, ranks, hiddens,
+            self._config_for(total_m, ranks[0], hidden_dim),
+        )
+        if len(self._pair_memo) >= 65536:
+            self._pair_memo.clear()
+        self._pair_memo[key] = t
         return t
+
+    def _config_for(self, m: int, k: int, n: int):
+        key = (m, k, n)
+        cfg = self._cfg_memo.get(key)
+        if cfg is None:
+            cfg = self._lookup(m, k, n)
+            if len(self._cfg_memo) >= 65536:
+                self._cfg_memo.clear()
+            self._cfg_memo[key] = cfg
+        return cfg
 
     # -- mode-switch support ------------------------------------------------------
 
@@ -120,6 +171,10 @@ class ATMMOperator(LoRAOperator):
         """
         if num_layers <= 0 or num_projections <= 0:
             raise ValueError("num_layers and num_projections must be positive")
+        key = (num_layers, hidden_dim, rank, num_projections, fuse_merge)
+        memoized = self._dw_memo.get(key)
+        if memoized is not None:
+            return memoized
         problems = [
             GemmShape(hidden_dim, rank, hidden_dim)
             for _ in range(num_layers * num_projections)
@@ -134,4 +189,5 @@ class ATMMOperator(LoRAOperator):
                 * hidden_dim * hidden_dim * FP16_BYTES
             )
             t += self.cost_model.elementwise_seconds(nbytes)
+        self._dw_memo[key] = t
         return t

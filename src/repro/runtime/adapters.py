@@ -16,7 +16,7 @@ from repro.hardware.memory import TransferModel
 from repro.models.lora import LoRAAdapterSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class _Residency:
     spec: LoRAAdapterSpec
     on_gpu: bool = False
@@ -80,6 +80,11 @@ class AdapterManager:
     @property
     def resident_ids(self) -> List[str]:
         return [a for a, r in self._adapters.items() if r.on_gpu]
+
+    @property
+    def adapter_ids(self) -> List[str]:
+        """All registered adapter ids, in registration order."""
+        return list(self._adapters)
 
     @property
     def num_adapters(self) -> int:

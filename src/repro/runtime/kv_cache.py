@@ -22,13 +22,13 @@ class BlockAllocationError(RuntimeError):
     """Raised when the cache cannot serve an allocation."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Block:
     block_id: int
     refcount: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Sequence:
     seq_id: int
     blocks: List[int] = field(default_factory=list)
@@ -36,7 +36,7 @@ class _Sequence:
     prefix_blocks: int = 0      # leading blocks shared via a prefix entry
 
 
-@dataclass
+@dataclass(slots=True)
 class _PrefixEntry:
     key: str
     blocks: List[int]

@@ -17,7 +17,7 @@ import numpy as np
 from repro.runtime.request import Request
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortRecord:
     """Immutable record of one aborted request (graceful degradation)."""
 
@@ -50,7 +50,7 @@ class AbortRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScaleEvent:
     """One replica-lifecycle transition in an autoscaled cluster.
 
@@ -78,7 +78,7 @@ class ScaleEvent:
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """Immutable completion record for one request."""
 

@@ -68,6 +68,12 @@ class ModeExecutor:
         self.model = model
         self.operator = operator
         self.num_projections = num_projections
+        # (token_counts, ranks) -> layer_seconds * num_layers.  The
+        # operator cost is a pure function of the group token counts and
+        # ranks — adapter *identities* never enter it — so signatures
+        # that differ only in adapter names (which fragment the
+        # engine-level cost cache) collapse onto one entry here.
+        self._mean_memo: Dict[tuple, float] = {}
 
     def extra_seconds(
         self,
@@ -159,7 +165,14 @@ class ModeExecutor:
 
         token_counts = list(groups.values())
         ranks = [adapter_ranks[a] for a in groups]
-        return self.operator.layer_seconds(
-            token_counts, ranks, self.model.hidden_dim,
-            num_projections=self.num_projections,
-        ) * self.model.num_layers
+        key = (tuple(token_counts), tuple(ranks))
+        mean = self._mean_memo.get(key)
+        if mean is None:
+            mean = self.operator.layer_seconds(
+                token_counts, ranks, self.model.hidden_dim,
+                num_projections=self.num_projections,
+            ) * self.model.num_layers
+            if len(self._mean_memo) >= 65536:
+                self._mean_memo.clear()
+            self._mean_memo[key] = mean
+        return mean

@@ -48,7 +48,7 @@ def reset_request_ids(start: int = 0) -> None:
     _id_counter = itertools.count(start)
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One inference request.
 

@@ -1,0 +1,76 @@
+"""The streaming Azure-shape block generator (10M-scale traces).
+
+``event_blocks`` is count-driven and chunked; its contract is spelled
+out in its docstring: exactly ``num_requests`` arrivals, globally
+increasing times, deterministic for a fixed ``(seed, block_size)``
+pair, and — critically — **no change at all** to what :meth:`events`
+produces for the same config (the scalar path draws from its own
+stream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.azure import AzureTraceConfig, AzureTraceGenerator
+
+
+def _gen(seed=0, rate=50.0):
+    return AzureTraceGenerator(AzureTraceConfig(rate_rps=rate, seed=seed))
+
+
+def _collect(gen, n, block_size):
+    return list(gen.event_blocks(n, block_size=block_size))
+
+
+def test_exact_count_and_block_sizes():
+    blocks = _collect(_gen(), 2_500, 1_000)
+    assert [b["arrival"].size for b in blocks] == [1_000, 1_000, 500]
+    for b in blocks:
+        assert b["input_tokens"].size == b["arrival"].size
+        assert b["output_tokens"].size == b["arrival"].size
+
+
+def test_arrivals_globally_increasing():
+    blocks = _collect(_gen(seed=3), 3_000, 700)
+    arrivals = np.concatenate([b["arrival"] for b in blocks])
+    assert arrivals.size == 3_000
+    assert (np.diff(arrivals) > 0).all()
+    assert (arrivals >= 0).all()
+
+
+def test_deterministic_for_fixed_seed_and_block_size():
+    a = _collect(_gen(seed=9), 2_000, 512)
+    b = _collect(_gen(seed=9), 2_000, 512)
+    for ba, bb in zip(a, b):
+        for key in ("arrival", "input_tokens", "output_tokens"):
+            assert (ba[key] == bb[key]).all()
+
+
+def test_token_bounds():
+    cfg = AzureTraceConfig(rate_rps=50.0, seed=1)
+    blocks = list(AzureTraceGenerator(cfg).event_blocks(2_000))
+    for b in blocks:
+        assert b["input_tokens"].min() >= 8
+        assert b["input_tokens"].max() <= cfg.max_input_tokens
+        assert b["output_tokens"].min() >= 8
+        assert b["output_tokens"].max() <= cfg.max_output_tokens
+        assert b["input_tokens"].dtype == np.int64
+
+
+def test_events_untouched_by_block_consumption():
+    """Same seed keeps producing the exact same scalar trace."""
+    fresh = _gen(seed=4).events()
+    gen = _gen(seed=4)
+    _collect(gen, 1_000, 256)  # burn the block stream first
+    after = gen.events()
+    assert after == fresh
+
+
+def test_validation():
+    gen = _gen()
+    with pytest.raises(ValueError, match="num_requests"):
+        list(gen.event_blocks(0))
+    with pytest.raises(ValueError, match="block_size"):
+        list(gen.event_blocks(10, block_size=0))
