@@ -184,6 +184,31 @@ def _build_parser() -> argparse.ArgumentParser:
                               "domains (enables HOST_FAIL targeting; "
                               "0 = no correlated domains)")
 
+    tail = serve.add_argument_group(
+        "tail-tolerant dispatch (docs/FAULTS.md; all default-off — "
+        "hedging needs --num-gpus >= 2)"
+    )
+    tail.add_argument("--hedge", action="store_true",
+                      help="dispatch a second copy of a request stuck "
+                           "past the observed latency percentile; first "
+                           "completion wins, the loser is fenced")
+    tail.add_argument("--hedge-percentile", type=float, default=95.0,
+                      help="per-priority completion-latency percentile "
+                           "that arms the hedge threshold")
+    tail.add_argument("--hedge-after", type=float, default=None,
+                      help="fixed hedge threshold in seconds (overrides "
+                           "the percentile tracker; implies --hedge)")
+    tail.add_argument("--retry-budget", type=float, default=None,
+                      metavar="RATIO",
+                      help="cap retries (hedges, swap retries, failover "
+                           "requeues) to this fraction of fresh "
+                           "dispatches per priority class (e.g. 0.1)")
+    tail.add_argument("--retry-budget-burst", type=float, default=20.0,
+                      help="token-bucket depth of the retry budget")
+    tail.add_argument("--give-up-after", type=float, default=None,
+                      help="hard per-request deadline in seconds from "
+                           "arrival (unified timeout policy)")
+
     compare = sub.add_parser(
         "compare", help="sweep request rates across all systems"
     )
@@ -359,6 +384,36 @@ def _make_overload_configs(args):
     return admission, brownout, breaker
 
 
+def _make_tail_configs(args):
+    """(hedge, retry_budget, timeout_policy) from serve flags.
+
+    Raises ``ValueError`` on malformed knob values; all three are
+    ``None`` when no tail-tolerance flag was given.
+    """
+    from repro.runtime.hedging import (
+        HedgeConfig,
+        RetryBudget,
+        RetryBudgetConfig,
+        TimeoutPolicy,
+    )
+
+    timeout_policy = None
+    if args.hedge_after is not None or args.give_up_after is not None:
+        timeout_policy = TimeoutPolicy(
+            hedge_after_s=args.hedge_after,
+            give_up_after_s=args.give_up_after,
+        )
+    hedge = None
+    if args.hedge or args.hedge_after is not None:
+        hedge = HedgeConfig(percentile=args.hedge_percentile)
+    retry_budget = None
+    if args.retry_budget is not None:
+        retry_budget = RetryBudget(RetryBudgetConfig(
+            ratio=args.retry_budget, burst=args.retry_budget_burst,
+        ))
+    return hedge, retry_budget, timeout_policy
+
+
 def _make_workload(args, system: str) -> list:
     builder_ids = [f"lora-{i}" for i in range(args.adapters)]
     heads = system == "v-lora"
@@ -436,6 +491,15 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"bad overload-protection flags: {exc}", file=sys.stderr)
         return 2
+    try:
+        hedge, retry_budget, timeout_policy = _make_tail_configs(args)
+    except ValueError as exc:
+        print(f"bad tail-tolerance flags: {exc}", file=sys.stderr)
+        return 2
+    if hedge is not None and args.num_gpus < 2 and not args.autoscale:
+        print("--hedge needs a second replica to race against "
+              "(--num-gpus >= 2 or --autoscale)", file=sys.stderr)
+        return 2
     if args.slo is not None and args.slo <= 0:
         print(f"--slo must be positive, got {args.slo}", file=sys.stderr)
         return 2
@@ -461,8 +525,10 @@ def cmd_serve(args) -> int:
                             enable_cost_cache=not args.no_cost_cache,
                             admission=admission,
                             brownout=brownout,
-                            breaker=breaker)
-    if args.num_gpus > 1 or args.autoscale or args.detector:
+                            breaker=breaker,
+                            timeout_policy=timeout_policy)
+    if (args.num_gpus > 1 or args.autoscale or args.detector
+            or hedge is not None):
         if args.core != "object":
             print("--core soa is single-GPU only (no --num-gpus/--autoscale/"
                   "--detector)", file=sys.stderr)
@@ -505,6 +571,8 @@ def cmd_serve(args) -> int:
             lambda: builder.build(args.system), args.num_gpus,
             dispatch=args.dispatch, autoscaler=scaler,
             detector=detector, num_hosts=args.num_hosts,
+            hedge=hedge, retry_budget=retry_budget,
+            timeout_policy=timeout_policy,
         )
     else:
         try:

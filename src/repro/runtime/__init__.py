@@ -22,6 +22,9 @@ vLLM/LightLLM, driven by the analytical cost models:
   (WARMING/ACTIVE/DRAINING/DEAD) and the scaling policy;
 * :mod:`repro.runtime.failure_detection` — φ-accrual heartbeat
   suspicion and lease-fenced exactly-once completion delivery;
+* :mod:`repro.runtime.hedging` — tail-tolerant dispatch: hedged
+  requests, per-class retry budgets, and the unified deadline/timeout
+  policy;
 * :mod:`repro.runtime.metrics` — latency/throughput accounting.
 """
 
@@ -75,6 +78,14 @@ from repro.runtime.overload import (
     EwmaSignal,
     ReplicaHealth,
 )
+from repro.runtime.hedging import (
+    HedgeConfig,
+    HedgeTracker,
+    RetryBudget,
+    RetryBudgetConfig,
+    TimeoutPolicy,
+    capped_exponential_backoff,
+)
 from repro.runtime.engine import EngineConfig, ServingEngine
 from repro.runtime.soa_core import SoAServingEngine
 from repro.runtime.autoscaler import (
@@ -90,6 +101,8 @@ from repro.runtime.metrics import (
     MetricsCollector,
     RequestRecord,
     ScaleEvent,
+    StreamingQuantile,
+    percentile,
 )
 
 __all__ = [
@@ -136,6 +149,12 @@ __all__ = [
     "AdapterBreaker",
     "EwmaSignal",
     "ReplicaHealth",
+    "HedgeConfig",
+    "HedgeTracker",
+    "RetryBudget",
+    "RetryBudgetConfig",
+    "TimeoutPolicy",
+    "capped_exponential_backoff",
     "ServingEngine",
     "EngineConfig",
     "SoAServingEngine",
@@ -151,4 +170,6 @@ __all__ = [
     "RequestRecord",
     "AbortRecord",
     "ScaleEvent",
+    "StreamingQuantile",
+    "percentile",
 ]

@@ -45,8 +45,9 @@ Without a detector, none of this machinery runs (bit-identical).
 from __future__ import annotations
 
 import heapq
+import itertools
 import zlib
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.autoscaler import (
     Autoscaler,
@@ -60,9 +61,16 @@ from repro.runtime.failure_detection import (
     FailureDetector,
     SuspicionState,
 )
+from repro.runtime.hedging import (
+    HedgeConfig,
+    HedgeTracker,
+    RetryBudget,
+    TimeoutPolicy,
+    capped_exponential_backoff,
+)
 from repro.runtime.metrics import MetricsCollector, ScaleEvent
 from repro.runtime.overload import ReplicaHealth
-from repro.runtime.request import AbortReason, Request
+from repro.runtime.request import AbortReason, Request, RequestStatus
 
 DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity")
 
@@ -104,7 +112,10 @@ class MultiGPUServer:
                  engine_factory: Optional[
                      Callable[[], ServingEngine]] = None,
                  detector: Optional[FailureDetector] = None,
-                 num_hosts: int = 0):
+                 num_hosts: int = 0,
+                 hedge: Optional[HedgeConfig] = None,
+                 retry_budget: Optional[RetryBudget] = None,
+                 timeout_policy: Optional[TimeoutPolicy] = None):
         engines = list(engines)
         if not engines:
             raise ValueError("need at least one engine")
@@ -134,6 +145,19 @@ class MultiGPUServer:
         self.autoscaler = autoscaler
         self.engine_factory = engine_factory
         self.detector = detector
+        self.hedge = hedge
+        self.retry_budget = retry_budget
+        self.timeout_policy = timeout_policy
+        #: Lease fencing is on whenever terminals must be deduplicated:
+        #: with a detector (zombie replays) or with hedging (two live
+        #: copies racing to the same terminal).
+        self._fenced = detector is not None or hedge is not None
+        self._hedge_tracker = (
+            HedgeTracker(hedge, timeout_policy)
+            if hedge is not None else None
+        )
+        #: Request ids that have had their one hedge fired.
+        self._hedged_rids: set = set()
         self._num_hosts = num_hosts
         self._host_seq = 0
         self._rr_next = 0
@@ -158,8 +182,11 @@ class MultiGPUServer:
         self._next_replica_idx = len(self.replicas)
         self._spawns_used = 0
         #: Requests accepted but not yet placed on a replica
-        #: (epoched mode only), ordered by (arrival, id).
-        self._undispatched: List[Tuple[float, int, Request]] = []
+        #: (epoched mode only), ordered by (arrival, id).  The sequence
+        #: counter breaks (arrival, id) ties: a hedge twin shares its
+        #: primary's id, and both can be requeued at the same instant.
+        self._undispatched: List[Tuple[float, int, int, Request]] = []
+        self._undispatched_seq = itertools.count()
         # Per-collector (records, aborts) read cursors for incremental
         # SLO-attainment sampling between scale decisions.
         self._slo_cursor = {}
@@ -173,15 +200,22 @@ class MultiGPUServer:
         #: Undelivered completions seized from confirmed-dead replicas;
         #: delivered (and fenced) if/when the zombie becomes reachable.
         self._zombie_mail: Dict[str, List[Completion]] = {}
-        #: Request ids whose terminal completion was already accepted.
-        self._accepted_rids: Set[int] = set()
+        #: Accepted terminal per request id (the winning completion);
+        #: presence of the id is the fence, the completion itself lets a
+        #: hedge loser's request object mirror the winning outcome.
+        self._accepted: Dict[int, Completion] = {}
         if self._num_hosts:
             for engine in [rep.engine for rep in self.replicas]:
                 engine.host = f"host-{self._host_seq % self._num_hosts}"
                 self._host_seq += 1
-        if self.detector is not None:
+        if self._fenced:
             for rep in self.replicas:
                 rep.engine.enable_fencing()
+        if self.retry_budget is not None:
+            for rep in self.replicas:
+                rep.engine.retry_budget = self.retry_budget
+        if self.detector is not None:
+            for rep in self.replicas:
                 self.detector.register(rep.replica_id, 0.0)
                 self._hb_next[rep.replica_id] = 0.0
 
@@ -293,16 +327,28 @@ class MultiGPUServer:
 
         A static cluster places every request on a replica immediately,
         per the configured policy.  An autoscaled cluster cannot — the
-        replica a request should land on may not exist yet — and a
+        replica a request should land on may not exist yet — a
         detector-driven cluster must not (the replica it would pick may
-        already be silently dead), so both queue requests cluster-side
-        until their arrival epoch.
+        already be silently dead), and a hedging cluster needs the
+        epoched loop's per-epoch view of time in flight; all three queue
+        requests cluster-side until their arrival epoch.
         """
-        if self.autoscaler is not None or self.detector is not None:
+        policy = self.timeout_policy
+        if policy is not None and policy.give_up_after_s is not None:
+            # Thread the unified give-up deadline through the engine's
+            # existing deadline machinery: requests with no deadline of
+            # their own inherit the policy's hard bound.
             for r in requests:
-                heapq.heappush(
-                    self._undispatched, (r.arrival_time, r.request_id, r)
-                )
+                if r.deadline_s is None:
+                    r.deadline_s = policy.give_up_after_s
+        if self.retry_budget is not None:
+            # First-time dispatches fund the budget that hedges, swap
+            # retries, and failover requeues later spend.
+            for r in requests:
+                self.retry_budget.deposit(r.priority)
+        if (self.autoscaler is not None or self.detector is not None
+                or self.hedge is not None):
+            self._requeue(requests)
             return
         self._dispatch(requests, self.engines)
 
@@ -383,7 +429,8 @@ class MultiGPUServer:
         events, fenced completions) in with every replica's metrics, so
         ``summary()`` accounts for every submitted request.
         """
-        if self.autoscaler is not None or self.detector is not None:
+        if (self.autoscaler is not None or self.detector is not None
+                or self.hedge is not None):
             return self._run_epoched(until)
         return self._run_static(until)
 
@@ -405,11 +452,10 @@ class MultiGPUServer:
             orphans: List[Request] = []
             for e in stranded:
                 orphans.extend(e.drain_orphans())
-            orphans = self._cap_requeues(orphans)
+            orphans = self._vet_orphans(orphans)
             if not survivors:
                 for r in orphans:
-                    r.abort(r.arrival_time, AbortReason.ENGINE_FAILED)
-                    self.cluster_metrics.record_abort(r)
+                    self._cluster_abort(r, r.arrival_time)
                 break
             if orphans:
                 self._apply_requeue_backoff(orphans)
@@ -447,9 +493,12 @@ class MultiGPUServer:
         spawn or drain a replica.  The loop ends when no undispatched,
         in-flight, or undelivered work remains (or at ``until``).
         """
-        interval = (self.autoscaler.config.interval_s
-                    if self.autoscaler is not None
-                    else self.detector.config.interval_s)
+        if self.autoscaler is not None:
+            interval = self.autoscaler.config.interval_s
+        elif self.detector is not None:
+            interval = self.detector.config.interval_s
+        else:
+            interval = self.hedge.interval_s
         now = 0.0
         for _ in range(self._MAX_EPOCHS):
             t_next = now + interval
@@ -465,7 +514,11 @@ class MultiGPUServer:
                 self._heartbeat_pass(t_next)
                 self._detector_pass(t_next)
             else:
+                if self._fenced:
+                    self._outbox_pass()
                 self._failover_pass(t_next)
+            if self.hedge is not None:
+                self._hedge_pass(t_next)
             if self.autoscaler is not None:
                 self._drain_pass(t_next)
             now = t_next
@@ -482,7 +535,7 @@ class MultiGPUServer:
                 f"{self._MAX_EPOCHS} control epochs (t={now:.1f}s)"
             )
         self._finalize_lifetimes(now)
-        if self.detector is not None:
+        if self._fenced:
             self._flush_zombie_mail()
         return self._merged_metrics()
 
@@ -536,14 +589,23 @@ class MultiGPUServer:
             return  # hold the queue; warming/healing will provide capacity
         due: List[Request] = []
         while self._undispatched and self._undispatched[0][0] <= t_next:
-            due.append(heapq.heappop(self._undispatched)[2])
+            r = heapq.heappop(self._undispatched)[-1]
+            if r.request_id in self._accepted:
+                # A requeued copy of a hedged pair whose other copy
+                # already won: dropping it here saves a full re-run.
+                self.cluster_metrics.hedge_losses += 1
+                self._mirror_outcome(r)
+                continue
+            due.append(r)
         if due:
             self._dispatch(due, active)
 
     def _requeue(self, orphans: Sequence[Request]) -> None:
         for r in orphans:
             heapq.heappush(
-                self._undispatched, (r.arrival_time, r.request_id, r)
+                self._undispatched,
+                (r.arrival_time, r.request_id,
+                 next(self._undispatched_seq), r),
             )
 
     def _failover_pass(self, t_next: float) -> None:
@@ -560,14 +622,116 @@ class MultiGPUServer:
             e = rep.engine
             if not e.failed:
                 continue
-            orphans = e.drain_orphans()
-            orphans = self._cap_requeues(orphans)
+            if self._fenced and e.completion_outbox:
+                # Terminals the engine recorded before dying were real
+                # results; deliver them through the fence (mirrors the
+                # unfenced path, where they were already in metrics).
+                outbox, e.completion_outbox = e.completion_outbox, []
+                for comp in outbox:
+                    self._accept(comp)
+            orphans = self._vet_orphans(e.drain_orphans())
             if orphans:
                 self._apply_requeue_backoff(orphans)
                 self.cluster_metrics.failover_events += len(orphans)
                 self._requeue(orphans)
             self._retire(rep, max(t_next, e.clock.now), "fail",
                          "engine failed")
+
+    # -- tail-tolerant dispatch (runtime/hedging.py) -------------------------------
+
+    def _outbox_pass(self) -> None:
+        """Deliver live replicas' completion outboxes through the fence.
+
+        The hedging-without-detector loop: fencing is on (two copies of
+        a hedged request race to a terminal) but there is no partition/
+        heartbeat machinery — every live replica's outbox is reachable
+        at the epoch boundary, exactly like the unfenced oracle path
+        where terminals landed in metrics immediately.
+        """
+        for rep in self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
+                                 ReplicaState.DRAINING):
+            e = rep.engine
+            if e.completion_outbox:
+                outbox, e.completion_outbox = e.completion_outbox, []
+                for comp in outbox:
+                    self._accept(comp)
+
+    def _hedge_eligible_engines(self) -> List[ServingEngine]:
+        """ACTIVE replicas a hedge may be placed on (or fired from)."""
+        out = []
+        for rep in self._members(ReplicaState.ACTIVE):
+            e = rep.engine
+            if e.failed:
+                continue
+            if (self.detector is not None
+                    and self.detector.state_of(e.engine_id)
+                    is not SuspicionState.ALIVE):
+                continue
+            out.append(e)
+        return out
+
+    def _hedge_pass(self, t_next: float) -> None:
+        """Fire speculative duplicates for requests stuck past the
+        hedge threshold (percentile-tracked per priority class).
+
+        First completion wins through the lease fence; the loser's
+        terminal is counted as a ``hedge_loss``.  One hedge per request,
+        budget-gated, and disabled entirely while any replica is in a
+        brownout tier (L1+) — a degraded fleet sheds load, it does not
+        double it.
+        """
+        engines = self._hedge_eligible_engines()
+        if len(engines) < 2:
+            return
+        for e in engines:
+            if e._brownout is not None and not e._brownout.hedging_allowed:
+                return
+        allowed, scores = self._routable(engines)
+        if len(allowed) < 2:
+            return
+        loads = {i: engines[i].num_live for i in allowed}
+        allowed_set = set(allowed)
+        # Most-stuck first: when the retry budget cannot cover every
+        # candidate, the tokens go to the requests deepest past the
+        # threshold — the ones actually shaping p99 — not to whichever
+        # replica happens to be scanned first.
+        candidates: List[Tuple[int, float, int, int, Request]] = []
+        for i, e in enumerate(engines):
+            for r in list(e._active.values()) + e.pending_requests:
+                rid = r.request_id
+                if (r.is_hedge or rid in self._hedged_rids
+                        or rid in self._accepted or r.is_terminal):
+                    continue
+                threshold = self._hedge_tracker.threshold(r.priority)
+                if threshold is None:
+                    continue
+                # Requests still waiting for a first token hedge at the
+                # threshold and win the budget race: those are the ones
+                # a hedge can rescue from the TTFT tail.  A request
+                # already streaming tokens just past the threshold is
+                # usually about to finish — racing a fresh twin against
+                # it loses and burns budget — so started requests only
+                # qualify once they are twice the threshold deep (a
+                # genuinely stuck decode, e.g. a slow replica).
+                started = 0 if r.first_token_time is None else 1
+                if t_next - r.arrival_time <= threshold * (1 + started):
+                    continue
+                candidates.append((started, r.arrival_time, rid, i, r))
+        candidates.sort(key=lambda c: c[:3])
+        for _, _, rid, i, r in candidates:
+            targets = [j for j in allowed_set if j != i]
+            if not targets:
+                continue
+            if (self.retry_budget is not None
+                    and not self.retry_budget.try_spend(r.priority)):
+                self.cluster_metrics.retry_budget_exhausted += 1
+                continue
+            j = min(targets, key=lambda k: (loads[k], k))
+            twin = r.clone_for_hedge()
+            engines[j].submit([twin])
+            loads[j] += 1
+            self._hedged_rids.add(rid)
+            self.cluster_metrics.hedges_fired += 1
 
     # -- failure-detection passes (detector mode only) -----------------------------
 
@@ -599,15 +763,54 @@ class MultiGPUServer:
         happen for engine-terminal requests but is fenced defensively.
         """
         req = comp.request
+        rid = req.request_id
         if (comp.token is None or comp.token != req.lease
-                or req.request_id in self._accepted_rids):
-            self.cluster_metrics.fenced_completions += 1
+                or rid in self._accepted):
+            if rid in self._hedged_rids:
+                # The other copy of a hedged pair already won: duplicate
+                # *work*, never a duplicate terminal.  If the loser is
+                # the original request object, mirror the winning
+                # outcome onto it so its status agrees with the records.
+                self.cluster_metrics.hedge_losses += 1
+                if not req.is_hedge:
+                    self._mirror_outcome(req)
+            else:
+                self.cluster_metrics.fenced_completions += 1
             return
-        self._accepted_rids.add(req.request_id)
+        self._accepted[rid] = comp
+        if rid in self._hedged_rids and req.is_hedge:
+            self.cluster_metrics.hedge_wins += 1
+        if self._hedge_tracker is not None and comp.kind == "finish":
+            self._hedge_tracker.observe(req.priority, comp.record.latency)
         if comp.kind == "finish":
             self.cluster_metrics.records.append(comp.record)
         else:
             self.cluster_metrics.aborts.append(comp.record)
+
+    def _mirror_outcome(self, req: Request) -> None:
+        """Copy the accepted terminal outcome onto a hedge loser.
+
+        Called only once the loser has left its engine (its own terminal
+        was fenced, or it was dropped from the queue/orphans), so the
+        mutation cannot race the engine's lifecycle checks.  Keeps the
+        request *object* consistent with the metrics: exactly one
+        terminal, the winner's.
+        """
+        comp = self._accepted.get(req.request_id)
+        if comp is None or comp.request is req:
+            return
+        rec = comp.record
+        if comp.kind == "finish":
+            req.status = RequestStatus.FINISHED
+            req.first_token_time = rec.first_token_time
+            req.finish_time = rec.finish_time
+            req.abort_time = None
+            req.abort_reason = None
+        else:
+            req.status = RequestStatus.ABORTED
+            req.finish_time = None
+            req.abort_time = rec.abort_time
+            req.abort_reason = AbortReason(rec.reason)
 
     def _deliver_pass(self, t_next: float) -> None:
         """Drain reachable replicas' outboxes; deliver healed zombies'.
@@ -729,7 +932,7 @@ class MultiGPUServer:
                 rewound.append(comp.request)
             self._zombie_mail.setdefault(rid, []).extend(outbox)
         orphans = e.drain_orphans() + rewound
-        orphans = self._cap_requeues(orphans)
+        orphans = self._vet_orphans(orphans)
         if orphans:
             self._apply_requeue_backoff(orphans)
             self.cluster_metrics.failover_events += len(orphans)
@@ -766,12 +969,16 @@ class MultiGPUServer:
         abort a healthy request via ``max_requeues``.
         """
         cfg = self.autoscaler.config
+        drain_timeout = cfg.drain_timeout_s
+        if (self.timeout_policy is not None
+                and self.timeout_policy.drain_timeout_s is not None):
+            drain_timeout = self.timeout_policy.drain_timeout_s
         for rep in self._members(ReplicaState.DRAINING):
             e = rep.engine
             if e.num_live == 0:
                 self._retire(rep, max(t_next, e.clock.now), "retire",
                              "drained empty")
-            elif t_next - rep.drain_started_at >= cfg.drain_timeout_s:
+            elif t_next - rep.drain_started_at >= drain_timeout:
                 orphans = e.drain_orphans(count_hop=False)
                 self.cluster_metrics.drain_requeues += len(orphans)
                 self._requeue(orphans)
@@ -803,7 +1010,7 @@ class MultiGPUServer:
         queue_depth = sum(rep.engine.num_live
                           for rep in active + warming + draining)
         queue_depth += sum(
-            1 for arrival, _, _ in self._undispatched if arrival <= now
+            1 for arrival, _, _, _ in self._undispatched if arrival <= now
         )
         num_suspected = 0
         if self.detector is not None:
@@ -883,8 +1090,10 @@ class MultiGPUServer:
         if self._num_hosts:
             engine.host = f"host-{self._host_seq % self._num_hosts}"
             self._host_seq += 1
-        if self.detector is not None:
+        if self._fenced:
             engine.enable_fencing()
+        if self.retry_budget is not None:
+            engine.retry_budget = self.retry_budget
         self._spawns_used += 1
         cold = estimate_cold_start_s(engine, cfg)
         stall = 1.0
@@ -932,9 +1141,17 @@ class MultiGPUServer:
         if self._can_spawn():
             return
         while self._undispatched:
-            _, _, r = heapq.heappop(self._undispatched)
-            r.abort(max(r.arrival_time, now), AbortReason.ENGINE_FAILED)
-            self.cluster_metrics.record_abort(r)
+            r = heapq.heappop(self._undispatched)[-1]
+            if r.request_id in self._accepted:
+                self.cluster_metrics.hedge_losses += 1
+                if not r.is_hedge:
+                    self._mirror_outcome(r)
+                continue
+            if r.is_hedge:
+                self._hedged_rids.discard(r.request_id)
+                self.cluster_metrics.hedge_losses += 1
+                continue
+            self._cluster_abort(r, max(r.arrival_time, now))
 
     def _quiescent(self) -> bool:
         if self._undispatched:
@@ -966,29 +1183,74 @@ class MultiGPUServer:
 
     # -- failover helpers ------------------------------------------------------------
 
-    def _cap_requeues(self, orphans: List[Request]) -> List[Request]:
-        """Abort orphans that already burned their requeue budget."""
-        if self.max_requeues is None:
-            return orphans
+    def _cluster_abort(self, r: Request, now: float,
+                       reason: AbortReason = AbortReason.ENGINE_FAILED
+                       ) -> None:
+        """Terminalize a request the cluster itself gave up on."""
+        r.abort(now, reason)
+        self.cluster_metrics.record_abort(r)
+
+    def _vet_orphans(self, orphans: List[Request]) -> List[Request]:
+        """Filter failover orphans before they rejoin the queue.
+
+        Hedge housekeeping first: a twin orphaned off a dead host is
+        simply a lost race (its primary still carries the request), and
+        an original whose id already has an accepted terminal — the twin
+        won while the primary's host was failing — mirrors the winner's
+        outcome instead of re-homing.  Of the real survivors, those past
+        the failover budget abort (``requeue_limit_aborts``); when a
+        retry budget is attached, each remaining requeue must also buy a
+        token, so correlated failures degrade into aborts instead of an
+        unbounded retry storm.
+        """
         kept: List[Request] = []
         for r in orphans:
-            if r.requeues > self.max_requeues:
-                r.abort(r.arrival_time, AbortReason.ENGINE_FAILED)
-                self.cluster_metrics.record_abort(r)
+            rid = r.request_id
+            if rid in self._accepted:
+                self.cluster_metrics.hedge_losses += 1
+                if not r.is_hedge:
+                    self._mirror_outcome(r)
+                continue
+            if r.is_hedge:
+                self._hedged_rids.discard(rid)
+                self.cluster_metrics.hedge_losses += 1
+                continue
+            if (self.max_requeues is not None
+                    and r.requeues > self.max_requeues):
+                self._cluster_abort(r, r.arrival_time)
                 self.cluster_metrics.requeue_limit_aborts += 1
-            else:
-                kept.append(r)
+                continue
+            if (self.retry_budget is not None
+                    and not self.retry_budget.try_spend(r.priority)):
+                self.cluster_metrics.retry_budget_exhausted += 1
+                self._cluster_abort(r, r.arrival_time)
+                continue
+            kept.append(r)
         return kept
 
     def _apply_requeue_backoff(self, orphans: Sequence[Request]) -> None:
-        """Space repeated requeues out with capped exponential backoff."""
-        if self.requeue_backoff_s <= 0:
+        """Space repeated requeues out with capped exponential backoff.
+
+        With a :class:`TimeoutPolicy` attached, the policy's base/cap
+        override the legacy knobs and the cap is additionally clamped
+        to the request's remaining deadline — backing off past a
+        deadline only converts a retry into a guaranteed deadline
+        abort.
+        """
+        policy = self.timeout_policy
+        if policy is None and self.requeue_backoff_s <= 0:
             return
         for r in orphans:
-            delay = min(
-                self.requeue_backoff_s * 2 ** max(0, r.requeues - 1),
-                self.requeue_backoff_cap_s,
-            )
+            if policy is not None:
+                delay = policy.requeue_backoff(
+                    r.requeues, self.requeue_backoff_s,
+                    self.requeue_backoff_cap_s, deadline_s=r.deadline_s,
+                )
+            else:
+                delay = capped_exponential_backoff(
+                    self.requeue_backoff_s, r.requeues,
+                    self.requeue_backoff_cap_s,
+                )
             r.arrival_time += delay
 
     def _failover_dispatch(self, orphans: Sequence[Request],

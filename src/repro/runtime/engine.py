@@ -32,6 +32,11 @@ from repro.runtime.clock import SimClock
 from repro.runtime.costcache import BatchSignature, IterationCostCache
 from repro.runtime.failure_detection import Completion
 from repro.runtime.faults import FaultInjector
+from repro.runtime.hedging import (
+    RetryBudget,
+    TimeoutPolicy,
+    capped_exponential_backoff,
+)
 from repro.runtime.kv_cache import PagedKVCache
 from repro.runtime.memory import UnifiedMemoryManager
 from repro.runtime.metrics import AbortRecord, MetricsCollector, RequestRecord
@@ -101,6 +106,12 @@ class EngineConfig:
     #: the legacy permanent quarantine (a breaker that opens after
     #: ``max_swap_retries`` failures and never half-opens).
     breaker: Optional[BreakerConfig] = None
+    #: Unified deadline/timeout policy (see :mod:`repro.runtime.hedging`).
+    #: When set, its non-``None`` fields override the ad-hoc timing
+    #: constants above (swap retry backoff; breaker cooldown when no
+    #: explicit ``breaker`` config is given).  ``None`` keeps every
+    #: legacy knob authoritative (bit-identical).
+    timeout_policy: Optional[TimeoutPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -216,10 +227,20 @@ class ServingEngine:
         # Per-adapter circuit breakers, created lazily on first swap
         # failure.  Without an explicit BreakerConfig an opened breaker
         # never half-opens: exactly the legacy permanent quarantine
-        # after max_swap_retries consecutive failures.
-        self._breaker_config = config.breaker or BreakerConfig(
-            failure_threshold=config.max_swap_retries, cooldown_s=None,
+        # after max_swap_retries consecutive failures — unless a
+        # TimeoutPolicy consolidates a breaker cooldown in.
+        policy_cooldown = (
+            config.timeout_policy.breaker_cooldown_s
+            if config.timeout_policy is not None else None
         )
+        self._breaker_config = config.breaker or BreakerConfig(
+            failure_threshold=config.max_swap_retries,
+            cooldown_s=policy_cooldown,
+        )
+        #: Shared retry budget (attached by the cluster; None = ungated).
+        #: Swap retries draw from the same bucket as hedges and failover
+        #: requeues, so a fleet-wide swap outage cannot retry-storm.
+        self.retry_budget: Optional[RetryBudget] = None
         self._breakers: Dict[str, AdapterBreaker] = {}
         self._admission = (
             AdmissionController(config.admission)
@@ -684,11 +705,8 @@ class ServingEngine:
             if breaker.record_failure(now):
                 self._open_breaker(adapter_id)
             else:
-                backoff = min(
-                    self.config.swap_retry_base_s
-                    * 2 ** (breaker.consecutive_failures - 1),
-                    self.config.swap_retry_cap_s,
-                )
+                backoff = self._swap_retry_backoff(
+                    adapter_id, breaker.consecutive_failures, batch)
                 self._swap_backoff_until[adapter_id] = now + backoff
                 if now + backoff > self._backoff_horizon:
                     self._backoff_horizon = now + backoff
@@ -712,6 +730,37 @@ class ServingEngine:
             if kept:
                 self.metrics.mode_fallbacks += 1
         return kept, mode, merged
+
+    def _swap_retry_backoff(self, adapter_id: str, attempt: int,
+                            batch: Sequence[Request]) -> float:
+        """Backoff before swap retry ``attempt`` for one failed adapter.
+
+        The shared capped-exponential curve (byte-identical to the
+        legacy inline math at default config), with two optional layers
+        on top: a :class:`TimeoutPolicy` overrides the base/cap
+        constants, and a cluster-attached :class:`RetryBudget` gates the
+        retry — when the budget is dry the retry is not forbidden (the
+        adapter's requests would strand) but degrades to maximum
+        spacing, the slowest the schedule allows.
+        """
+        policy = self.config.timeout_policy
+        base = self.config.swap_retry_base_s
+        cap = self.config.swap_retry_cap_s
+        if policy is not None:
+            backoff = policy.swap_backoff(attempt, base, cap)
+            if policy.swap_retry_cap_s is not None:
+                cap = policy.swap_retry_cap_s
+        else:
+            backoff = capped_exponential_backoff(base, attempt, cap)
+        if self.retry_budget is not None:
+            priority = max(
+                (r.priority for r in batch if r.adapter_id == adapter_id),
+                default=0,
+            )
+            if not self.retry_budget.try_spend(priority):
+                self.metrics.retry_budget_exhausted += 1
+                backoff = cap
+        return backoff
 
     def _open_breaker(self, adapter_id: str) -> None:
         """The adapter's breaker just opened: fail its traffic fast.

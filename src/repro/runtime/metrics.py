@@ -9,12 +9,58 @@ Metric definitions follow §6.1:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.runtime.request import Request
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (``q`` in [0, 100]).
+
+    The one percentile implementation shared by latency summaries,
+    detection-latency reporting, and hedge-threshold tracking (linear
+    interpolation, numpy semantics).  Raises on an empty sequence —
+    callers decide what "no data" means.
+    """
+    if len(values) == 0:
+        raise ValueError("no values to take a percentile of")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(values, q))
+
+
+class StreamingQuantile:
+    """Sliding-window quantile estimate over a stream of observations.
+
+    Keeps the most recent ``window`` samples (deque, O(1) per
+    observation) and answers :meth:`quantile` exactly over that window —
+    deterministic and replayable, unlike sketch-based estimators.  Used
+    for the hedge-threshold tracker, where "recent completions" is
+    precisely the right population: old latencies from before a
+    straggler appeared (or healed) age out of the window on their own.
+    """
+
+    def __init__(self, window: int = 256):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._buf: Deque[float] = deque(maxlen=window)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def observe(self, value: float) -> None:
+        self._buf.append(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile of the window; None when empty."""
+        if not self._buf:
+            return None
+        return percentile(list(self._buf), q)
 
 
 @dataclass(frozen=True, slots=True)
@@ -182,6 +228,16 @@ class MetricsCollector:
     #: detector's CONFIRMED_DEAD verdict (false confirmations excluded —
     #: a partitioned-but-alive replica has no death to measure from).
     detection_latencies: List[float] = field(default_factory=list)
+    # -- tail-tolerant dispatch (runtime/hedging.py) -----------------------
+    #: Speculative duplicate dispatches fired past the hedge threshold.
+    hedges_fired: int = 0
+    #: Hedged requests whose *speculative copy* finished first.
+    hedge_wins: int = 0
+    #: Late terminals of hedged requests fenced after the winner landed
+    #: (duplicate work, never a duplicate terminal).
+    hedge_losses: int = 0
+    #: Retries/hedges denied because the retry budget ran dry.
+    retry_budget_exhausted: int = 0
 
     def complete(self, req: Request) -> None:
         self.records.append(RequestRecord.from_request(req))
@@ -274,7 +330,13 @@ class MetricsCollector:
         """Latency percentile, ``q`` in [0, 100]."""
         if not self.records:
             raise ValueError("no completed requests")
-        return float(np.percentile([r.latency for r in self.records], q))
+        return percentile([r.latency for r in self.records], q)
+
+    def ttft_percentile(self, q: float) -> float:
+        """Time-to-first-token percentile, ``q`` in [0, 100]."""
+        if not self.records:
+            raise ValueError("no completed requests")
+        return percentile([r.ttft for r in self.records], q)
 
     def mean_ttft(self) -> float:
         if not self.records:
@@ -358,6 +420,10 @@ class MetricsCollector:
         self.fenced_completions += other.fenced_completions
         self.partition_heals += other.partition_heals
         self.detection_latencies.extend(other.detection_latencies)
+        self.hedges_fired += other.hedges_fired
+        self.hedge_wins += other.hedge_wins
+        self.hedge_losses += other.hedge_losses
+        self.retry_budget_exhausted += other.retry_budget_exhausted
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for bench JSON dumps).
@@ -399,15 +465,16 @@ class MetricsCollector:
                     "drain_timeouts", "drain_requeues", "warming_time_s",
                     "draining_time_s", "gpu_seconds_total",
                     "suspicions", "false_suspicions", "fenced_completions",
-                    "partition_heals"):
+                    "partition_heals", "hedges_fired", "hedge_wins",
+                    "hedge_losses", "retry_budget_exhausted"):
             value = getattr(self, key)
             if value:
                 out[key] = float(value)
         if self.detection_latencies:
-            out["detection_latency_p50_s"] = float(
-                np.percentile(self.detection_latencies, 50))
-            out["detection_latency_p99_s"] = float(
-                np.percentile(self.detection_latencies, 99))
+            out["detection_latency_p50_s"] = percentile(
+                self.detection_latencies, 50)
+            out["detection_latency_p99_s"] = percentile(
+                self.detection_latencies, 99)
         if self.slo_attainment() is not None:
             out["slo_attainment"] = self.slo_attainment()
         return out

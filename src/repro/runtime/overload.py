@@ -332,6 +332,13 @@ class BrownoutController:
     def force_merged(self) -> bool:
         return self.level >= 3
 
+    @property
+    def hedging_allowed(self) -> bool:
+        """Tail-tolerance gate: any brownout tier (L1+) disables hedged
+        dispatch — a browned-out replica must shed load, not receive
+        speculative duplicates of work that already exists elsewhere."""
+        return self.level < 1
+
 
 # ---------------------------------------------------------------------------
 # Per-adapter circuit breakers

@@ -118,6 +118,12 @@ class Request:
     #: (confirmed death → re-dispatch) clears it, so a zombie replica's
     #: late result can never double-terminate the request.
     lease: Optional[Tuple[str, int]] = None
+    #: True on the speculative twin created by hedged dispatch
+    #: (:meth:`clone_for_hedge`).  A hedge twin shares its primary's
+    #: ``request_id`` — the cluster's accepted-id fence is what makes
+    #: first-completion-wins safe — but carries its own progress state
+    #: and lease, and never burns the primary's failover budget.
+    is_hedge: bool = False
 
     def __post_init__(self) -> None:
         if self.input_tokens <= 0:
@@ -195,6 +201,37 @@ class Request:
         if self.finish_time is None:
             return None
         return self.latency() <= self.slo_s
+
+    # -- hedged dispatch -----------------------------------------------------
+
+    def clone_for_hedge(self) -> "Request":
+        """A fresh twin for speculative re-dispatch (hedging).
+
+        The twin shares the primary's identity (``request_id``, arrival
+        time, workload shape — so latency and records are measured from
+        the *original* arrival) but starts from a clean WAITING state
+        with no lease: the engine it lands on stamps its own fencing
+        token at submit.  Deliberately does **not** draw a fresh id from
+        the global counter, so hedging never perturbs the ids of later
+        requests (determinism at defaults).
+        """
+        twin = Request(
+            adapter_id=self.adapter_id,
+            arrival_time=self.arrival_time,
+            input_tokens=self.input_tokens,
+            output_tokens=self.output_tokens,
+            task_name=self.task_name,
+            num_images=self.num_images,
+            use_task_head=self.use_task_head,
+            prefix_key=self.prefix_key,
+            prefix_tokens=self.prefix_tokens,
+            slo_s=self.slo_s,
+            deadline_s=self.deadline_s,
+            priority=self.priority,
+            request_id=self.request_id,
+            is_hedge=True,
+        )
+        return twin
 
     # -- fault handling ------------------------------------------------------
 

@@ -282,3 +282,104 @@ def test_drain_requeue_does_not_consume_failover_budget():
     assert rehomed, "no request recorded a drain hop"
     for r in rehomed:
         assert r.requeues == 0, "drain re-home consumed failover budget"
+
+
+# -- tail-tolerant dispatch (PR 8: hedging / retry budgets) -------------------
+
+
+@pytest.mark.parametrize("menu", sorted(FAULT_MENUS))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces())
+def test_hedged_cluster_exactly_once(menu, requests):
+    """Exactly-once must survive hedged dispatch under every fault menu:
+    two live copies race to a terminal, and the loser is always fenced —
+    never a duplicate, never a lost request."""
+    from repro.runtime import HedgeConfig, RetryBudget, TimeoutPolicy
+
+    reset_request_ids()
+    server = _fresh_cluster(
+        "least-loaded", FAULT_MENUS[menu], max_requeues=4,
+        hedge=HedgeConfig(min_observations=4, window=32),
+        retry_budget=RetryBudget(),
+        timeout_policy=TimeoutPolicy(hedge_after_s=0.25),
+    )
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    # Every race that was started has exactly one fenced loser.
+    assert metrics.hedge_losses == metrics.hedges_fired
+    assert metrics.hedge_wins <= metrics.hedges_fired
+    assert server._undispatched == []
+
+
+def test_hedge_during_partition_heal_fenced_exactly_once():
+    """A hedge fired against a partitioned straggler: the twin wins, the
+    partition heals, and the original's late terminal must fence as a
+    hedge loss — exactly once, never a duplicate terminal."""
+    from repro.runtime import HedgeConfig, TimeoutPolicy
+
+    reset_request_ids()
+    faults = (
+        FaultSpec(FaultKind.ENGINE_SLOW, start=0.0, duration=10.0,
+                  magnitude=10.0, target="gpu-0"),
+        # The straggler is also partitioned: its completions buffer in
+        # the outbox until the window closes.
+        FaultSpec(FaultKind.NETWORK_PARTITION, start=0.2, duration=2.0,
+                  target="gpu-0"),
+    )
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        fault_injector=FaultInjector(list(faults)),
+    )
+    # Detector thresholds far out of reach: the partitioned replica is
+    # never suspected, so its work is hedged rather than seized.
+    detector = FailureDetector(FailureDetectorConfig(
+        phi_suspect=1e6, phi_confirm=1e7))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 2, detector=detector,
+        hedge=HedgeConfig(min_observations=4, window=32),
+        timeout_policy=TimeoutPolicy(hedge_after_s=0.3),
+    )
+    requests = [
+        Request(adapter_id=ADAPTER_IDS[i % len(ADAPTER_IDS)],
+                arrival_time=i * 0.01, input_tokens=64, output_tokens=8)
+        for i in range(16)
+    ]
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert metrics.hedges_fired >= 1, "no hedge fired at the straggler"
+    assert metrics.hedge_wins >= 1, "no twin beat the partitioned host"
+    assert metrics.hedge_losses == metrics.hedges_fired
+    # The partition healed and every buffered terminal was reconciled.
+    for rep in server.replicas:
+        assert rep.engine.completion_outbox == []
+    assert not server._zombie_mail
+
+
+def test_drain_rehoming_never_spends_retry_budget():
+    """Voluntary scale-down churn is not a retry: drain re-homes must
+    neither charge the failover budget nor buy retry-budget tokens."""
+    from repro.runtime import RetryBudget, RetryBudgetConfig
+
+    budget = RetryBudget(RetryBudgetConfig(ratio=0.1, burst=5.0,
+                                           initial=5.0))
+    builder = SystemBuilder(num_adapters=len(ADAPTER_IDS), max_batch_size=8)
+    scaler = Autoscaler(AutoscaleConfig(
+        min_replicas=1, max_replicas=2, interval_s=0.25,
+        target_queue_per_replica=100.0, down_fraction=0.9,
+        down_cooldown_s=0.25, spinup_s=0.1, drain_timeout_s=0.5,
+    ))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 2, autoscaler=scaler,
+        max_requeues=1, retry_budget=budget,
+    )
+    requests = _long_requests(12)
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert metrics.drain_requeues >= 1, "nothing was re-homed"
+    assert budget.spent == 0, "drain re-home spent retry-budget tokens"
+    assert budget.exhausted == 0
+    assert metrics.num_aborted == 0
