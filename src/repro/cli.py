@@ -141,8 +141,27 @@ def _build_parser() -> argparse.ArgumentParser:
                               "replica count (with --autoscale)")
     cluster.add_argument("--dispatch", default="least-loaded",
                          choices=("least-loaded", "round-robin",
-                                  "adapter-affinity"),
-                         help="inter-GPU dispatch policy")
+                                  "adapter-affinity", "locality"),
+                         help="inter-GPU dispatch policy ('locality' = "
+                              "cache-state-aware placement, "
+                              "docs/PLACEMENT.md)")
+    cluster.add_argument("--placement-hot-watermark", type=float,
+                         default=0.03,
+                         help="popularity share above which 'locality' "
+                              "replicates an adapter")
+    cluster.add_argument("--placement-hot-copies", type=int, default=2,
+                         help="ring homes a hot adapter is served from")
+    cluster.add_argument("--placement-cold-watermark", type=float,
+                         default=0.0,
+                         help="popularity share below which resident "
+                              "adapters are demoted off non-home "
+                              "replicas (0 = off)")
+    cluster.add_argument("--placement-prefetch-top-k", type=int, default=8,
+                         help="hot adapters a newly spawned replica "
+                              "prefetches during warm-up")
+    cluster.add_argument("--placement-interval", type=float, default=0.5,
+                         help="placement rebalance epoch length in sim "
+                              "seconds")
     cluster.add_argument("--autoscale", action="store_true",
                          help="enable elastic replica autoscaling "
                               "(WARMING/ACTIVE/DRAINING lifecycle)")
@@ -527,6 +546,11 @@ def cmd_serve(args) -> int:
                             brownout=brownout,
                             breaker=breaker,
                             timeout_policy=timeout_policy)
+    if args.dispatch == "locality" and args.num_gpus < 2 \
+            and not args.autoscale:
+        print("--dispatch locality needs a fleet to place over "
+              "(--num-gpus >= 2 or --autoscale)", file=sys.stderr)
+        return 2
     if (args.num_gpus > 1 or args.autoscale or args.detector
             or hedge is not None):
         if args.core != "object":
@@ -534,11 +558,13 @@ def cmd_serve(args) -> int:
                   "--detector)", file=sys.stderr)
             return 2
         from repro.runtime import (
+            AdapterPlacement,
             AutoscaleConfig,
             Autoscaler,
             FailureDetector,
             FailureDetectorConfig,
             MultiGPUServer,
+            PlacementConfig,
         )
 
         scaler = None
@@ -567,12 +593,27 @@ def cmd_serve(args) -> int:
             except ValueError as exc:
                 print(f"bad detector flags: {exc}", file=sys.stderr)
                 return 2
+        placement = None
+        if args.dispatch == "locality":
+            try:
+                placement_cfg = PlacementConfig(
+                    hot_watermark=args.placement_hot_watermark,
+                    hot_copies=args.placement_hot_copies,
+                    cold_watermark=args.placement_cold_watermark,
+                    prefetch_top_k=args.placement_prefetch_top_k,
+                    interval_s=args.placement_interval,
+                )
+            except ValueError as exc:
+                print(f"bad placement flags: {exc}", file=sys.stderr)
+                return 2
+            builder.placement = placement_cfg
+            placement = AdapterPlacement(placement_cfg)
         engine = MultiGPUServer.replicate(
             lambda: builder.build(args.system), args.num_gpus,
             dispatch=args.dispatch, autoscaler=scaler,
             detector=detector, num_hosts=args.num_hosts,
             hedge=hedge, retry_budget=retry_budget,
-            timeout_policy=timeout_policy,
+            timeout_policy=timeout_policy, placement=placement,
         )
     else:
         try:

@@ -42,6 +42,7 @@ from repro.runtime.overload import (
     BreakerConfig,
     BrownoutConfig,
 )
+from repro.runtime.placement import PlacementConfig
 from repro.runtime.scheduler import (
     DLoRAPolicy,
     MergedOnlyPolicy,
@@ -90,6 +91,11 @@ class SystemBuilder:
     #: ``give_up_after_s`` deadlines at cluster submit — see
     #: :mod:`repro.runtime.hedging`).
     timeout_policy: Optional[TimeoutPolicy] = None
+    #: Fleet adapter-placement knobs (default-off; consumed by the
+    #: cluster layer, not by single engines — carried here so callers
+    #: configure one builder end to end.  See
+    #: :mod:`repro.runtime.placement`).
+    placement: Optional[PlacementConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_adapters <= 0:
@@ -177,6 +183,16 @@ class SystemBuilder:
         if core == "soa":
             if engine_cls is not None:
                 raise ValueError("pass either engine_cls or core='soa'")
+            if self.placement is not None:
+                # Fleet placement drives the cluster's epoched control
+                # loop; the SoA core only supports the static
+                # run-to-completion path.  Reject loudly rather than
+                # silently ignoring the placement config.
+                raise ValueError(
+                    "core='soa' does not support adapter placement "
+                    "(placement= requires the object core's epoched "
+                    "cluster loop); drop placement or use core='object'"
+                )
             from repro.runtime.soa_core import SoAServingEngine
             engine_cls = SoAServingEngine
         cost_model = GemmCostModel(self.gpu)

@@ -25,6 +25,9 @@ vLLM/LightLLM, driven by the analytical cost models:
 * :mod:`repro.runtime.hedging` — tail-tolerant dispatch: hedged
   requests, per-class retry budgets, and the unified deadline/timeout
   policy;
+* :mod:`repro.runtime.placement` — fleet-level adapter registry and
+  cache-state-aware ``locality`` dispatch (consistent-hash homes,
+  load-aware spill, hot-adapter replication, cold demotion);
 * :mod:`repro.runtime.metrics` — latency/throughput accounting.
 """
 
@@ -95,6 +98,7 @@ from repro.runtime.autoscaler import (
     ReplicaState,
     estimate_cold_start_s,
 )
+from repro.runtime.placement import AdapterPlacement, PlacementConfig
 from repro.runtime.cluster import MultiGPUServer
 from repro.runtime.metrics import (
     AbortRecord,
@@ -165,6 +169,8 @@ __all__ = [
     "Replica",
     "ReplicaState",
     "estimate_cold_start_s",
+    "AdapterPlacement",
+    "PlacementConfig",
     "MultiGPUServer",
     "MetricsCollector",
     "RequestRecord",

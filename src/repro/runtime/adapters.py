@@ -62,6 +62,10 @@ class AdapterManager:
         self._adapters: Dict[str, _Residency] = {
             s.adapter_id: _Residency(s) for s in specs
         }
+        #: Soft-pinned adapter ids (fleet placement's hot replicas):
+        #: eviction prefers unpinned victims but may still evict a pin
+        #: under slot pressure — pins bias, they never deadlock.
+        self.pinned: set = set()
         #: Injected swap-in failures observed (fault injection).
         self.swap_failures = 0
         # Warm start: the first adapters are resident (offline phase loads
@@ -161,10 +165,60 @@ class AdapterManager:
             return  # free slot available
         if not resident:
             raise RuntimeError("no evictable adapter (all slots pinned)")
-        resident.sort()
-        victim = resident[0][1]
+        # Soft pins: evict the LRU *unpinned* resident first; fall back
+        # to a pinned victim rather than failing the batch (a pin biases
+        # placement, it must never wedge the engine).
+        unpinned = [entry for entry in resident
+                    if entry[1] not in self.pinned]
+        (unpinned or resident).sort()
+        victim = (unpinned or resident)[0][1]
         # Swap-out is fully asynchronous (write-back can always overlap).
         self._adapters[victim].on_gpu = False
+
+    # -- fleet placement hooks (runtime/placement.py) -----------------------
+
+    def pin(self, adapter_id: str) -> bool:
+        """Soft-pin an adapter: eviction prefers other victims."""
+        self._entry(adapter_id)  # raise on unknown ids
+        if adapter_id in self.pinned:
+            return False
+        self.pinned.add(adapter_id)
+        return True
+
+    def unpin(self, adapter_id: str) -> None:
+        self.pinned.discard(adapter_id)
+
+    def demote(self, adapter_id: str) -> bool:
+        """Evict one adapter from its GPU slot (fleet-wide cold demotion).
+
+        Swap-out is asynchronous (no stall); returns whether the adapter
+        was actually resident.  A demoted adapter simply swaps back in
+        on next use — correctness never depends on this call.  The last
+        resident adapter is never demoted: the engine assumes at least
+        one resident (switch-cost estimation, warm merges).
+        """
+        entry = self._entry(adapter_id)
+        if not entry.on_gpu:
+            return False
+        if len(self.resident_ids) <= 1:
+            return False
+        entry.on_gpu = False
+        return True
+
+    def make_resident(self, adapter_id: str, now: float) -> bool:
+        """Force one adapter GPU-resident (autoscaler warm-up prefetch).
+
+        Counts as a swap-in; evicts LRU residents if the slots are full.
+        Returns False when the adapter was already resident.
+        """
+        entry = self._entry(adapter_id)
+        entry.last_used = now
+        if entry.on_gpu:
+            return False
+        self._evict_one(exclude={adapter_id})
+        entry.on_gpu = True
+        entry.swap_ins += 1
+        return True
 
     # -- stats -------------------------------------------------------------------------
 

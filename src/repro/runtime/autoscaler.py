@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.runtime.overload import EwmaSignal
 
@@ -247,7 +247,9 @@ class Autoscaler:
 
 
 def estimate_cold_start_s(engine: "ServingEngine",
-                          config: AutoscaleConfig) -> float:
+                          config: AutoscaleConfig,
+                          prefetch_ids: Optional[Sequence[str]] = None,
+                          ) -> float:
     """Model a fresh replica's cold start from its own parts.
 
     Three components, all derived from state the engine already carries:
@@ -261,10 +263,20 @@ def estimate_cold_start_s(engine: "ServingEngine",
     * one warm merge — V-LoRA replicas come online with the first
       resident adapter's ΔW folded in (the switcher's merge cost), so
       the first merged-mode batch does not eat the switch.
+
+    ``prefetch_ids`` extends the prefetch bill with extra adapters the
+    fleet placement layer wants resident before serving (the registry's
+    current hot set, see
+    :meth:`~repro.runtime.placement.AdapterPlacement.prefetch_plan`);
+    ids already in the warm-start set are not double-charged.
     """
     adapters = engine.adapters
+    to_load = list(adapters.resident_ids)
+    if prefetch_ids:
+        seen = set(to_load)
+        to_load += [a for a in prefetch_ids if a not in seen]
     prefetch = 0.0
-    for adapter_id in adapters.resident_ids:
+    for adapter_id in to_load:
         prefetch += adapters.transfer.swap_seconds(
             adapters.spec(adapter_id).ab_bytes,
             async_overlap=0.0,

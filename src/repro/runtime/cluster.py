@@ -3,14 +3,19 @@
 V-LoRA scales across GPUs by replicating the engine (base model +
 adapter pool) per device; §6.4's Table 3 measures the simple
 data-parallel deployment.  Inter-GPU scheduling (dLoRA-style) is the
-paper's future work — three dispatch policies are provided here:
+paper's future work — four dispatch policies are provided here:
 
 * ``least-loaded`` — send each request to the replica with the fewest
   queued decode rounds (Table 3's configuration);
 * ``round-robin`` — cycle replicas;
 * ``adapter-affinity`` — pin each adapter's requests to a home replica
   (hashed), making every replica's workload maximally merge-friendly for
-  Algorithm 1 at the cost of load imbalance under skew.
+  Algorithm 1 at the cost of load imbalance under skew;
+* ``locality`` — cache-state-aware placement through the fleet adapter
+  registry (:class:`~repro.runtime.placement.AdapterPlacement`):
+  consistent-hash homes, load-aware spill to adapter-resident replicas,
+  hot-adapter replication and cold demotion.  Requires the epoched loop
+  (attaching a placement registry enables it, like hedging does).
 
 All three policies route around *dead* replicas (an engine whose fault
 schedule has already killed it receives no fresh traffic — it would all
@@ -70,9 +75,11 @@ from repro.runtime.hedging import (
 )
 from repro.runtime.metrics import MetricsCollector, ScaleEvent
 from repro.runtime.overload import ReplicaHealth
+from repro.runtime.placement import AdapterPlacement
 from repro.runtime.request import AbortReason, Request, RequestStatus
 
-DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity")
+DISPATCH_POLICIES = ("least-loaded", "round-robin", "adapter-affinity",
+                     "locality")
 
 
 class MultiGPUServer:
@@ -115,7 +122,8 @@ class MultiGPUServer:
                  num_hosts: int = 0,
                  hedge: Optional[HedgeConfig] = None,
                  retry_budget: Optional[RetryBudget] = None,
-                 timeout_policy: Optional[TimeoutPolicy] = None):
+                 timeout_policy: Optional[TimeoutPolicy] = None,
+                 placement: Optional[AdapterPlacement] = None):
         engines = list(engines)
         if not engines:
             raise ValueError("need at least one engine")
@@ -148,6 +156,13 @@ class MultiGPUServer:
         self.hedge = hedge
         self.retry_budget = retry_budget
         self.timeout_policy = timeout_policy
+        #: Fleet-level adapter registry (runtime/placement.py).  The
+        #: ``locality`` policy requires it (a default registry is built
+        #: when none is passed); any other policy may still attach one
+        #: for observability, drain bias, and warm-up prefetch.
+        if dispatch == "locality" and placement is None:
+            placement = AdapterPlacement()
+        self.placement = placement
         #: Lease fencing is on whenever terminals must be deduplicated:
         #: with a detector (zombie replays) or with hedging (two live
         #: copies racing to the same terminal).
@@ -218,6 +233,9 @@ class MultiGPUServer:
             for rep in self.replicas:
                 self.detector.register(rep.replica_id, 0.0)
                 self._hb_next[rep.replica_id] = 0.0
+        if self.placement is not None:
+            for rep in self.replicas:
+                self.placement.register_replica(rep.engine)
 
     @property
     def engines(self) -> List[ServingEngine]:
@@ -347,7 +365,7 @@ class MultiGPUServer:
             for r in requests:
                 self.retry_budget.deposit(r.priority)
         if (self.autoscaler is not None or self.detector is not None
-                or self.hedge is not None):
+                or self.hedge is not None or self.placement is not None):
             self._requeue(requests)
             return
         self._dispatch(requests, self.engines)
@@ -362,6 +380,8 @@ class MultiGPUServer:
             self._submit_least_loaded(ordered, engines, allowed, scores)
         elif self.dispatch == "round-robin":
             self._submit_round_robin(ordered, engines, allowed)
+        elif self.dispatch == "locality":
+            self._submit_locality(ordered, engines, allowed, scores)
         else:
             self._submit_affinity(ordered, engines, allowed)
 
@@ -407,14 +427,67 @@ class MultiGPUServer:
         n = len(engines)
         allowed_set = set(allowed)
         for r in requests:
-            home = zlib.crc32(r.adapter_id.encode("utf-8")) % n
-            # Linear probe from the hashed home keeps each adapter's
-            # re-homed traffic together on the same fallback replica.
-            for _ in range(n):
-                if home in allowed_set:
-                    break
-                home = (home + 1) % n
+            key = r.adapter_id.encode("utf-8")
+            home = zlib.crc32(key) % n
+            if home not in allowed_set:
+                # Probe with a per-adapter stride (double hashing), not
+                # linearly: a linear probe funnels every adapter homed
+                # on a contiguous run of excluded replicas onto the one
+                # replica at the run's end, so a single down replica's
+                # traffic all lands on its right-hand neighbor.  The
+                # stride spreads re-homed adapters across survivors
+                # while still keeping each adapter's own re-homed
+                # traffic together on one fallback replica.
+                stride = 1
+                if n > 1:
+                    stride = 1 + zlib.crc32(b"stride:" + key) % (n - 1)
+                for i in range(1, n):
+                    cand = (home + i * stride) % n
+                    if cand in allowed_set:
+                        home = cand
+                        break
+                else:
+                    # A non-coprime stride can cycle without covering
+                    # every slot; fall back to the ring-order scan.
+                    h = home
+                    home = min(allowed_set,
+                               key=lambda j: ((j - h) % n, j))
             engines[home].submit([r])
+
+    def _submit_locality(self, requests: Sequence[Request],
+                         engines: Sequence[ServingEngine],
+                         allowed: List[int],
+                         scores: List[float]) -> None:
+        """Cache-state-aware placement via the fleet adapter registry.
+
+        Each request asks :meth:`AdapterPlacement.decide` for a replica:
+        consistent-hash home when it holds the adapter and is not
+        overloaded, else the least-loaded replica *already holding* the
+        adapter (spill — a queue hop is cheaper than a cold swap), else
+        the home (paying the swap where future requests will find it),
+        else least-loaded.  Load is queued decode rounds, inflated by
+        1/score when ``health_aware`` so stragglers repel traffic the
+        same way they do under ``least-loaded``.
+        """
+        placement = self.placement
+        by_id = {engines[i].engine_id: i for i in allowed}
+        loads = {}
+        for i in allowed:
+            load = sum(req.remaining
+                       for req in engines[i].pending_requests)
+            if self.health_aware:
+                load /= max(scores[i], 1e-6)
+            loads[engines[i].engine_id] = load
+        for r in requests:
+            rid, why = placement.decide(r.adapter_id, loads)
+            i = by_id[rid]
+            engines[i].submit([r])
+            inc = r.remaining
+            if self.health_aware:
+                inc /= max(scores[i], 1e-6)
+            loads[rid] += inc
+            if why == "spill-hit":
+                self.cluster_metrics.placement_spills += 1
 
     # -- execution ------------------------------------------------------------------
 
@@ -430,7 +503,7 @@ class MultiGPUServer:
         ``summary()`` accounts for every submitted request.
         """
         if (self.autoscaler is not None or self.detector is not None
-                or self.hedge is not None):
+                or self.hedge is not None or self.placement is not None):
             return self._run_epoched(until)
         return self._run_static(until)
 
@@ -497,8 +570,10 @@ class MultiGPUServer:
             interval = self.autoscaler.config.interval_s
         elif self.detector is not None:
             interval = self.detector.config.interval_s
-        else:
+        elif self.hedge is not None:
             interval = self.hedge.interval_s
+        else:
+            interval = self.placement.config.interval_s
         now = 0.0
         for _ in range(self._MAX_EPOCHS):
             t_next = now + interval
@@ -519,6 +594,8 @@ class MultiGPUServer:
                 self._failover_pass(t_next)
             if self.hedge is not None:
                 self._hedge_pass(t_next)
+            if self.placement is not None:
+                self._placement_pass()
             if self.autoscaler is not None:
                 self._drain_pass(t_next)
             now = t_next
@@ -726,12 +803,39 @@ class MultiGPUServer:
                     and not self.retry_budget.try_spend(r.priority)):
                 self.cluster_metrics.retry_budget_exhausted += 1
                 continue
-            j = min(targets, key=lambda k: (loads[k], k))
+            pool = targets
+            if self.placement is not None:
+                # A hedge races the stuck primary; landing the twin on
+                # a replica that must first cold-swap the adapter gives
+                # the race away.  Prefer adapter-resident targets.
+                resident = [
+                    k for k in targets
+                    if engines[k].adapters.is_resident(r.adapter_id)
+                ]
+                pool = resident or targets
+            j = min(pool, key=lambda k: (loads[k], k))
             twin = r.clone_for_hedge()
             engines[j].submit([twin])
             loads[j] += 1
             self._hedged_rids.add(rid)
             self.cluster_metrics.hedges_fired += 1
+
+    # -- adapter placement (runtime/placement.py) ----------------------------------
+
+    def _placement_pass(self) -> None:
+        """Re-sync the fleet adapter registry and rebalance hot/cold.
+
+        Runs once per control epoch: the registry's residency model is
+        refreshed from each live engine's ground truth (engines evict on
+        their own during the epoch), then hot adapters above the
+        watermark get replicated (soft-pinned on ``hot_copies`` ring
+        homes) and cold ones demoted off non-home replicas.  Counter
+        deltas land in cluster metrics.
+        """
+        self.placement.refresh_from_engines()
+        stats = self.placement.rebalance()
+        self.cluster_metrics.placement_replications += stats["replications"]
+        self.cluster_metrics.placement_demotions += stats["demotions"]
 
     # -- failure-detection passes (detector mode only) -----------------------------
 
@@ -998,6 +1102,8 @@ class MultiGPUServer:
                 now - rep.drain_started_at
             )
         rep.die(now)
+        if self.placement is not None:
+            self.placement.deregister_replica(rep.replica_id)
         self.cluster_metrics.gpu_seconds_total += max(
             0.0, now - rep.spawned_at
         )
@@ -1095,7 +1201,14 @@ class MultiGPUServer:
         if self.retry_budget is not None:
             engine.retry_budget = self.retry_budget
         self._spawns_used += 1
-        cold = estimate_cold_start_s(engine, cfg)
+        prefetch_ids: List[str] = []
+        if self.placement is not None:
+            # Warm up with the fleet's current hot set: the cold start
+            # grows (each prefetched adapter pays a synchronous swap)
+            # but the replica comes online useful instead of cold.
+            prefetch_ids = self.placement.prefetch_plan(engine)
+        cold = estimate_cold_start_s(engine, cfg,
+                                     prefetch_ids=prefetch_ids or None)
         stall = 1.0
         if engine.faults is not None:
             stall = engine.faults.scale_stall_factor(engine.engine_id, now)
@@ -1105,6 +1218,10 @@ class MultiGPUServer:
                       spawned_at=now, warm_until=now + cold * stall)
         self.replicas.append(rep)
         self._replica_of[rep.replica_id] = rep
+        if self.placement is not None:
+            self.placement.apply_prefetch(engine, prefetch_ids, now)
+            self.placement.register_replica(engine)
+            self.cluster_metrics.adapters_prefetched += len(prefetch_ids)
         self._record_event(now, "spawn", rep,
                            f"cold start {cold * stall:.3f}s")
         return True
@@ -1117,10 +1234,19 @@ class MultiGPUServer:
         if len(candidates) <= cfg.min_replicas:
             return
         scores = self.health_scores([rep.engine for rep in candidates])
-        rep, score = min(
-            zip(candidates, scores),
-            key=lambda cs: (cs[1], cs[0].engine.num_live, cs[0].replica_id),
-        )
+        if self.placement is not None:
+            # Among equal-health candidates, retire the cache-coldest
+            # replica: the one whose resident adapters would cost the
+            # least swap traffic to rebuild on the survivors.
+            def _key(cs):
+                return (cs[1],
+                        self.placement.replica_cache_value(
+                            cs[0].replica_id),
+                        cs[0].engine.num_live, cs[0].replica_id)
+        else:
+            def _key(cs):
+                return (cs[1], cs[0].engine.num_live, cs[0].replica_id)
+        rep, score = min(zip(candidates, scores), key=_key)
         rep.start_drain(now)
         self._record_event(now, "drain", rep,
                            f"scale down (health {score:.3f})")

@@ -429,9 +429,17 @@ class ServingEngine:
         self._kv_stalls = 0
 
         needed = self._batch_adapters(batch, decision)
+        uniq = list(dict.fromkeys(needed))
+        hits = sum(1 for a in uniq if self.adapters.is_resident(a))
         stall, failed_swaps = self.adapters.try_ensure_resident(
             needed, self.clock.now, injector=self.faults
         )
+        self.metrics.adapter_cache_hits += hits
+        misses = len(uniq) - hits
+        if misses:
+            self.metrics.adapter_cache_misses += misses
+            self.metrics.swap_ins += misses - len(failed_swaps)
+            self.metrics.swap_in_seconds += stall
         if stall:
             self.clock.advance(stall)
         for adapter_id in needed:

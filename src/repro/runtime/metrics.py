@@ -181,6 +181,15 @@ class MetricsCollector:
     iterations: int = 0
     # -- resilience accounting (fault injection / graceful degradation) ----
     aborts: List[AbortRecord] = field(default_factory=list)
+    # -- swap-traffic observability (adapter cache behavior) ---------------
+    #: Adapter swap-ins actually performed (cache misses that landed).
+    swap_ins: int = 0
+    #: Engine stall seconds paid on the swap path (incl. failed attempts).
+    swap_in_seconds: float = 0.0
+    #: Batch-adapter residency checks that found the adapter on GPU.
+    adapter_cache_hits: int = 0
+    #: ... and that did not (each miss pays a swap or a swap failure).
+    adapter_cache_misses: int = 0
     swap_retries: int = 0
     adapters_quarantined: int = 0
     mode_fallbacks: int = 0
@@ -238,6 +247,16 @@ class MetricsCollector:
     hedge_losses: int = 0
     #: Retries/hedges denied because the retry budget ran dry.
     retry_budget_exhausted: int = 0
+    # -- adapter-locality placement (runtime/placement.py) -----------------
+    #: Requests routed off their overloaded home onto a replica already
+    #: holding the adapter (locality kept, load respected).
+    placement_spills: int = 0
+    #: Hot adapters promoted to k-replica service (watermark crossings).
+    placement_replications: int = 0
+    #: Cold adapters demoted out of GPU slots fleet-wide.
+    placement_demotions: int = 0
+    #: Hot adapters prefetched onto freshly spawned replicas at warm-up.
+    adapters_prefetched: int = 0
 
     def complete(self, req: Request) -> None:
         self.records.append(RequestRecord.from_request(req))
@@ -385,6 +404,10 @@ class MetricsCollector:
         self.switch_time_total += other.switch_time_total
         self.lora_extra_time_total += other.lora_extra_time_total
         self.iterations += other.iterations
+        self.swap_ins += other.swap_ins
+        self.swap_in_seconds += other.swap_in_seconds
+        self.adapter_cache_hits += other.adapter_cache_hits
+        self.adapter_cache_misses += other.adapter_cache_misses
         self.swap_retries += other.swap_retries
         self.adapters_quarantined += other.adapters_quarantined
         self.mode_fallbacks += other.mode_fallbacks
@@ -424,6 +447,10 @@ class MetricsCollector:
         self.hedge_wins += other.hedge_wins
         self.hedge_losses += other.hedge_losses
         self.retry_budget_exhausted += other.retry_budget_exhausted
+        self.placement_spills += other.placement_spills
+        self.placement_replications += other.placement_replications
+        self.placement_demotions += other.placement_demotions
+        self.adapters_prefetched += other.adapters_prefetched
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for bench JSON dumps).
@@ -466,10 +493,22 @@ class MetricsCollector:
                     "draining_time_s", "gpu_seconds_total",
                     "suspicions", "false_suspicions", "fenced_completions",
                     "partition_heals", "hedges_fired", "hedge_wins",
-                    "hedge_losses", "retry_budget_exhausted"):
+                    "hedge_losses", "retry_budget_exhausted",
+                    "placement_spills", "placement_replications",
+                    "placement_demotions", "adapters_prefetched"):
             value = getattr(self, key)
             if value:
                 out[key] = float(value)
+        # Swap-traffic keys appear only once a swap (or failed swap) was
+        # actually paid: an all-resident run — the common small-registry
+        # case — keeps its summary unchanged.
+        if self.swap_ins or self.adapter_cache_misses:
+            out["swap_ins"] = float(self.swap_ins)
+            out["swap_in_seconds"] = self.swap_in_seconds
+            lookups = self.adapter_cache_hits + self.adapter_cache_misses
+            out["adapter_cache_hit_ratio"] = (
+                self.adapter_cache_hits / lookups if lookups else 1.0
+            )
         if self.detection_latencies:
             out["detection_latency_p50_s"] = percentile(
                 self.detection_latencies, 50)

@@ -693,7 +693,15 @@ class SoAServingEngine:
             needed = [self._adapter_table[merged]]
         else:
             needed = self._batch_adapters(batch, merged)
+        uniq = list(dict.fromkeys(needed))
+        hits = sum(1 for a in uniq if self.adapters.is_resident(a))
         stall = self.adapters.ensure_resident(needed, self.clock.now)
+        self.metrics.adapter_cache_hits += hits
+        misses = len(uniq) - hits
+        if misses:
+            self.metrics.adapter_cache_misses += misses
+            self.metrics.swap_ins += misses
+            self.metrics.swap_in_seconds += stall
         if stall:
             self.clock.advance(stall)
 

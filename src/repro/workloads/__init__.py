@@ -21,7 +21,11 @@ from repro.workloads.diurnal import (
     diurnal_retrieval,
 )
 from repro.workloads.retrieval import RetrievalWorkload
-from repro.workloads.skew import skewed_adapter_sampler, zipf_shares
+from repro.workloads.skew import (
+    skewed_adapter_sampler,
+    zipf_adapter_sampler,
+    zipf_shares,
+)
 from repro.workloads.video import VideoAnalyticsWorkload
 
 __all__ = [
@@ -31,6 +35,7 @@ __all__ = [
     "RetrievalWorkload",
     "VideoAnalyticsWorkload",
     "skewed_adapter_sampler",
+    "zipf_adapter_sampler",
     "zipf_shares",
     "DiurnalPattern",
     "diurnal_retrieval",

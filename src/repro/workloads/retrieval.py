@@ -53,6 +53,12 @@ class RetrievalWorkload:
     #: Optional per-request latency SLO (seconds) attached to every
     #: request; feeds SLO-attainment and deadline-abort accounting.
     slo_s: Optional[float] = None
+    #: Optional explicit adapter popularity distribution (one share per
+    #: adapter id, summing to 1).  Overrides the default
+    #: ``top_heavy_shares`` skew — e.g. pass
+    #: :func:`repro.workloads.skew.zipf_shares` for an S-LoRA-scale
+    #: Zipf registry.
+    adapter_shares: Optional[Sequence[float]] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -68,6 +74,15 @@ class RetrievalWorkload:
             raise ValueError("image_reuse_prob must be in [0,1]")
         if self.adapter_burst < 1:
             raise ValueError("adapter_burst must be >= 1")
+        if self.adapter_shares is not None:
+            shares = list(self.adapter_shares)
+            if len(shares) != len(self.adapter_ids):
+                raise ValueError(
+                    f"adapter_shares has {len(shares)} entries for "
+                    f"{len(self.adapter_ids)} adapters"
+                )
+            if abs(sum(shares) - 1.0) > 1e-6:
+                raise ValueError("adapter_shares must sum to 1")
 
     def generate(self) -> List[Request]:
         """Build the full request list (sorted by arrival time)."""
@@ -79,9 +94,13 @@ class RetrievalWorkload:
         ))
         tasks = list(self.task_mix)
         task_probs = np.array([self.task_mix[t] for t in tasks])
-        adapter_probs = np.array(
-            top_heavy_shares(len(self.adapter_ids), self.top_adapter_share)
-        )
+        if self.adapter_shares is not None:
+            adapter_probs = np.asarray(self.adapter_shares, dtype=float)
+        else:
+            adapter_probs = np.array(
+                top_heavy_shares(len(self.adapter_ids),
+                                 self.top_adapter_share)
+            )
         requests: List[Request] = []
         recent_images: List[str] = []
         burst_adapter: Optional[str] = None

@@ -33,14 +33,36 @@ def top_heavy_shares(num_adapters: int, top_share: float) -> List[float]:
 
 
 def zipf_shares(num_adapters: int, alpha: float = 1.0) -> List[float]:
-    """Zipf(alpha) popularity over ``num_adapters`` adapters."""
+    """Zipf(alpha) popularity over ``num_adapters`` adapters.
+
+    Computed in log space — ``(i+1) ** alpha`` as a Python float
+    overflows for extreme ``alpha``; ``exp(-alpha * log(i+1))`` merely
+    underflows to 0 for the tail, which normalizes fine (rank 1's
+    weight is exactly 1, so the total is always >= 1).
+    """
     if num_adapters <= 0:
         raise ValueError(f"num_adapters must be positive, got {num_adapters}")
     if alpha < 0:
         raise ValueError(f"alpha must be >= 0, got {alpha}")
-    weights = np.array([1.0 / (i + 1) ** alpha for i in range(num_adapters)])
+    with np.errstate(under="ignore"):
+        weights = np.exp(-alpha * np.log(np.arange(1, num_adapters + 1)))
     shares = weights / weights.sum()
     return shares.tolist()
+
+
+def zipf_adapter_sampler(
+    adapter_ids: Sequence[str],
+    alpha: float,
+    rng: np.random.Generator,
+) -> Callable[[], str]:
+    """A sampler drawing adapter ids Zipf(alpha)-distributed."""
+    ids = list(adapter_ids)
+    probs = np.asarray(zipf_shares(len(ids), alpha))
+
+    def sample() -> str:
+        return ids[int(rng.choice(len(ids), p=probs))]
+
+    return sample
 
 
 def skewed_adapter_sampler(

@@ -70,6 +70,68 @@ class TestDispatchPolicies:
         with pytest.raises(ValueError, match="unknown dispatch"):
             MultiGPUServer([builder.build("v-lora")], dispatch="random")
 
+    def test_affinity_rehoming_spreads_over_survivors(self, builder):
+        """Regression: excluding one replica must not funnel every
+        adapter it homed onto a single neighbor.
+
+        The old linear probe sent all of a down replica's adapters to
+        ``(home + 1) % n``; the double-hash stride spreads them across
+        the survivors while still giving each adapter one deterministic
+        fallback.
+        """
+        import zlib
+
+        n = 8
+        down = 3
+        homed = [f"aff-{i}" for i in range(4000)
+                 if zlib.crc32(f"aff-{i}".encode()) % n == down]
+        assert len(homed) > 100
+        from repro.models.lora import LoRAAdapterSpec
+
+        b = SystemBuilder(
+            max_batch_size=16,
+            adapter_specs=tuple(
+                LoRAAdapterSpec(a, QWEN_VL_7B, rank=16) for a in homed
+            ),
+        )
+        server = MultiGPUServer.replicate(
+            lambda: b.build("v-lora"), n, dispatch="adapter-affinity"
+        )
+        engines = server.engines
+        allowed = [i for i in range(n) if i != down]
+        requests = [
+            Request(adapter_id=a, arrival_time=0.001 * i,
+                    input_tokens=8, output_tokens=2)
+            for i, a in enumerate(homed)
+        ]
+        server._submit_affinity(requests, engines, allowed)
+        counts = [len(e.pending_requests) for e in engines]
+        assert counts[down] == 0
+        assert sum(counts) == len(homed)
+        # Linear probing put 100% on (down + 1) % n; the stride probe
+        # must leave no survivor with more than half the re-homed load.
+        assert max(counts) < 0.5 * len(homed)
+        # Every survivor should get some share (7 strides over ~500
+        # adapters cover all of them).
+        assert all(counts[i] > 0 for i in allowed)
+
+    def test_affinity_rehoming_is_deterministic_per_adapter(self, builder):
+        """Each adapter's fallback home is stable across bursts."""
+        n = 4
+        b = SystemBuilder(num_adapters=12, max_batch_size=16)
+        server = MultiGPUServer.replicate(
+            lambda: b.build("v-lora"), n, dispatch="adapter-affinity"
+        )
+        engines = server.engines
+        allowed = [0, 2, 3]
+        reqs = burst(b.adapter_ids, 24)
+        server._submit_affinity(reqs, engines, allowed)
+        placed = {}
+        for i, e in enumerate(engines):
+            for r in e.pending_requests:
+                placed.setdefault(r.adapter_id, set()).add(i)
+        assert all(len(homes) == 1 for homes in placed.values())
+
 
 class TestTensorParallel:
     def test_cost_model_validation(self):

@@ -358,6 +358,71 @@ def test_hedge_during_partition_heal_fenced_exactly_once():
     assert not server._zombie_mail
 
 
+@pytest.mark.parametrize("menu", sorted(FAULT_MENUS))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces())
+def test_locality_cluster_exactly_once(menu, requests):
+    """Exactly-once must survive cache-state-aware placement under every
+    fault menu: spills, replication pins, prefetches, and stale registry
+    entries (a decision made on a dead replica's behalf re-homes through
+    the ordinary failover machinery, never losing a request)."""
+    from repro.runtime import AdapterPlacement, PlacementConfig
+
+    reset_request_ids()
+    placement = AdapterPlacement(PlacementConfig(
+        hot_watermark=0.2, hot_copies=2, cold_watermark=0.05,
+        spill_load_factor=1.0, spill_slack_rounds=2.0, interval_s=0.25,
+    ))
+    server = _fresh_cluster("locality", FAULT_MENUS[menu],
+                            max_requeues=4, placement=placement)
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert server._undispatched == []
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces(), seed=st.integers(0, 31))
+def test_locality_autoscaled_exactly_once_under_chaos(requests, seed):
+    """Locality placement + lifecycle churn + randomized faults: replica
+    registration/deregistration, warm-up prefetch, and drain bias must
+    never lose or duplicate a request."""
+    from repro.runtime import AdapterPlacement, PlacementConfig
+
+    reset_request_ids()
+    injector = FaultInjector.random(
+        horizon_s=20.0, seed=seed, adapter_ids=ADAPTER_IDS,
+        engine_ids=("gpu-0", "gpu-1", "gpu-2"),
+        swap_fail_rate=0.3, engine_slow_rate=0.2,
+        engine_fail_rate=0.05, scale_stall_rate=0.2,
+    )
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        deadline_slo_factor=4.0, fault_injector=injector,
+    )
+    scaler = Autoscaler(AutoscaleConfig(
+        min_replicas=1, max_replicas=3, interval_s=0.25,
+        target_queue_per_replica=2.0, down_fraction=0.7,
+        up_cooldown_s=0.25, down_cooldown_s=0.5,
+        spinup_s=0.1, drain_timeout_s=2.0,
+    ))
+    placement = AdapterPlacement(PlacementConfig(
+        hot_watermark=0.2, hot_copies=2, interval_s=0.25,
+        prefetch_top_k=2,
+    ))
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 1, dispatch="locality",
+        autoscaler=scaler, placement=placement,
+    )
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert server._undispatched == []
+    assert metrics.replicas_spawned == len(server.replicas) - 1
+
+
 def test_drain_rehoming_never_spends_retry_budget():
     """Voluntary scale-down churn is not a retry: drain re-homes must
     neither charge the failover budget nor buy retry-budget tokens."""

@@ -246,6 +246,16 @@ def test_unknown_core_rejected():
         builder.build("v-lora", core="simd")
 
 
+def test_placement_unsupported():
+    from repro.runtime.placement import PlacementConfig
+
+    builder = SystemBuilder(num_adapters=2, placement=PlacementConfig())
+    with pytest.raises(ValueError, match="placement"):
+        builder.build("v-lora", core="soa")
+    # The object core accepts the same builder unchanged.
+    builder.build("v-lora", core="object")
+
+
 def test_submit_after_run_rejected():
     builder = SystemBuilder(num_adapters=2)
     reset_request_ids()

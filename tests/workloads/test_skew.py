@@ -1,0 +1,103 @@
+"""Property tests for the adapter-popularity skew helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.skew import (
+    skewed_adapter_sampler,
+    top_heavy_shares,
+    zipf_adapter_sampler,
+    zipf_shares,
+)
+
+
+# -- zipf_shares --------------------------------------------------------------
+
+
+@given(n=st.integers(1, 2048),
+       alpha=st.floats(0.0, 50.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_zipf_shares_sum_to_one(n, alpha):
+    shares = zipf_shares(n, alpha)
+    assert len(shares) == n
+    assert math.isclose(sum(shares), 1.0, rel_tol=1e-9)
+    assert all(s >= 0.0 for s in shares)
+    assert not any(math.isnan(s) for s in shares)
+
+
+@given(n=st.integers(2, 512),
+       alpha=st.floats(0.0, 10.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_zipf_shares_monotone_nonincreasing(n, alpha):
+    shares = zipf_shares(n, alpha)
+    assert all(a >= b - 1e-15 for a, b in zip(shares, shares[1:]))
+
+
+def test_zipf_shares_single_adapter():
+    assert zipf_shares(1, 1.0) == [1.0]
+    assert zipf_shares(1, 0.0) == [1.0]
+    assert zipf_shares(1, 10_000.0) == [1.0]
+
+
+def test_zipf_shares_extreme_alpha_no_overflow():
+    # The naive ``(i+1) ** alpha`` float pow raises OverflowError here;
+    # the log-space form degrades to all mass on rank 1.
+    shares = zipf_shares(1000, 5000.0)
+    assert shares[0] == pytest.approx(1.0)
+    assert sum(shares) == pytest.approx(1.0)
+    assert not any(math.isnan(s) for s in shares)
+
+
+def test_zipf_shares_zero_alpha_is_uniform():
+    shares = zipf_shares(8, 0.0)
+    assert all(s == pytest.approx(1.0 / 8) for s in shares)
+
+
+def test_zipf_shares_validation():
+    with pytest.raises(ValueError, match="num_adapters"):
+        zipf_shares(0)
+    with pytest.raises(ValueError, match="alpha"):
+        zipf_shares(4, -0.5)
+
+
+# -- samplers -----------------------------------------------------------------
+
+
+def test_skewed_sampler_deterministic_per_seed():
+    ids = [f"lora-{i}" for i in range(16)]
+    a = skewed_adapter_sampler(ids, 0.6, np.random.default_rng(7))
+    b = skewed_adapter_sampler(ids, 0.6, np.random.default_rng(7))
+    assert [a() for _ in range(200)] == [b() for _ in range(200)]
+
+
+def test_zipf_sampler_deterministic_per_seed():
+    ids = [f"lora-{i}" for i in range(64)]
+    a = zipf_adapter_sampler(ids, 1.05, np.random.default_rng(11))
+    b = zipf_adapter_sampler(ids, 1.05, np.random.default_rng(11))
+    assert [a() for _ in range(200)] == [b() for _ in range(200)]
+
+
+def test_zipf_sampler_head_heavy():
+    ids = [f"lora-{i}" for i in range(64)]
+    sample = zipf_adapter_sampler(ids, 1.2, np.random.default_rng(3))
+    draws = [sample() for _ in range(2000)]
+    # Rank 1 must dominate any single tail adapter by a wide margin.
+    assert draws.count("lora-0") > 10 * max(
+        draws.count(f"lora-{i}") for i in range(32, 64)
+    )
+
+
+def test_samplers_single_adapter():
+    rng = np.random.default_rng(0)
+    assert zipf_adapter_sampler(["only"], 1.0, rng)() == "only"
+    assert skewed_adapter_sampler(["only"], 1.0, rng)() == "only"
+
+
+def test_top_heavy_shares_sum_to_one():
+    for n in (1, 2, 5, 100):
+        shares = top_heavy_shares(n, max(0.6, 1.0 / n))
+        assert sum(shares) == pytest.approx(1.0)
