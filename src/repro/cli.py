@@ -145,6 +145,20 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="inter-GPU dispatch policy ('locality' = "
                               "cache-state-aware placement, "
                               "docs/PLACEMENT.md)")
+    cluster.add_argument("--disagg", action="store_true",
+                         help="disaggregated serving: split the fleet into "
+                              "a prefill pool and a decode pool with a "
+                              "priced KV hand-off between them "
+                              "(docs/DISAGGREGATION.md)")
+    cluster.add_argument("--prefill-replicas", type=int, default=1,
+                         help="prefill-pool size with --disagg (default 1)")
+    cluster.add_argument("--decode-replicas", type=int, default=1,
+                         help="decode-pool size with --disagg (default 1)")
+    cluster.add_argument("--disagg-kv-target", type=float, default=0.75,
+                         help="decode-pool KV-residency scaling target in "
+                              "(0, 1] (with --disagg --autoscale; the "
+                              "prefill pool scales on queue depth as "
+                              "usual; default 0.75)")
     cluster.add_argument("--placement-hot-watermark", type=float,
                          default=0.03,
                          help="popularity share above which 'locality' "
@@ -515,6 +529,20 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"bad tail-tolerance flags: {exc}", file=sys.stderr)
         return 2
+    if args.disagg:
+        if args.prefill_replicas < 1 or args.decode_replicas < 1:
+            print("--prefill-replicas and --decode-replicas must be >= 1",
+                  file=sys.stderr)
+            return 2
+        total = args.prefill_replicas + args.decode_replicas
+        if args.num_gpus not in (1, total):
+            # 1 is argparse's default: treat it as "derive from the pools".
+            print(f"--num-gpus {args.num_gpus} disagrees with "
+                  f"--prefill-replicas + --decode-replicas = {total}; "
+                  f"drop --num-gpus (it is derived) or make them match",
+                  file=sys.stderr)
+            return 2
+        args.num_gpus = total
     if hedge is not None and args.num_gpus < 2 and not args.autoscale:
         print("--hedge needs a second replica to race against "
               "(--num-gpus >= 2 or --autoscale)", file=sys.stderr)
@@ -552,15 +580,16 @@ def cmd_serve(args) -> int:
               "(--num-gpus >= 2 or --autoscale)", file=sys.stderr)
         return 2
     if (args.num_gpus > 1 or args.autoscale or args.detector
-            or hedge is not None):
+            or hedge is not None or args.disagg):
         if args.core != "object":
             print("--core soa is single-GPU only (no --num-gpus/--autoscale/"
-                  "--detector)", file=sys.stderr)
+                  "--detector/--disagg)", file=sys.stderr)
             return 2
         from repro.runtime import (
             AdapterPlacement,
             AutoscaleConfig,
             Autoscaler,
+            DisaggConfig,
             FailureDetector,
             FailureDetectorConfig,
             MultiGPUServer,
@@ -608,12 +637,42 @@ def cmd_serve(args) -> int:
                 return 2
             builder.placement = placement_cfg
             placement = AdapterPlacement(placement_cfg)
+        disagg = None
+        if args.disagg:
+            from dataclasses import replace as dc_replace
+
+            prefill_scale = decode_scale = None
+            if scaler is not None:
+                # --disagg --autoscale means per-pool scalers: the
+                # prefill pool keeps the queue-depth policy; the decode
+                # pool scales on fleet KV residency instead.
+                prefill_scale = scaler.config
+                try:
+                    decode_scale = dc_replace(
+                        scaler.config,
+                        target_utilization=args.disagg_kv_target,
+                    )
+                except ValueError as exc:
+                    print(f"bad --disagg-kv-target: {exc}", file=sys.stderr)
+                    return 2
+                scaler = None
+            try:
+                disagg = DisaggConfig(
+                    prefill_replicas=args.prefill_replicas,
+                    decode_replicas=args.decode_replicas,
+                    prefill_autoscale=prefill_scale,
+                    decode_autoscale=decode_scale,
+                )
+            except ValueError as exc:
+                print(f"bad disagg flags: {exc}", file=sys.stderr)
+                return 2
         engine = MultiGPUServer.replicate(
             lambda: builder.build(args.system), args.num_gpus,
             dispatch=args.dispatch, autoscaler=scaler,
             detector=detector, num_hosts=args.num_hosts,
             hedge=hedge, retry_budget=retry_budget,
             timeout_policy=timeout_policy, placement=placement,
+            disagg=disagg,
         )
     else:
         try:

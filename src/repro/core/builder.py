@@ -243,6 +243,17 @@ class SystemBuilder:
             fault_injector=self.fault_injector,
         )
 
+    def engine_factory(self, system: str, core: str = "object"):
+        """Zero-arg callable producing fresh engines for ``system``.
+
+        The shape :class:`repro.runtime.cluster.MultiGPUServer` wants
+        for ``engine_factory=`` (replica spawning) and what the CLI and
+        benchmarks use to stamp out disaggregated pools — every engine
+        comes off the same mold, so fleet-shared caches (cost, transfer)
+        stay coherent.
+        """
+        return lambda: self.build(system, core=core)
+
 
 def build_engine(system: str, **kwargs) -> ServingEngine:
     """One-shot convenience: ``build_engine("v-lora", num_adapters=8)``."""

@@ -28,6 +28,9 @@ vLLM/LightLLM, driven by the analytical cost models:
 * :mod:`repro.runtime.placement` — fleet-level adapter registry and
   cache-state-aware ``locality`` dispatch (consistent-hash homes,
   load-aware spill, hot-adapter replication, cold demotion);
+* :mod:`repro.runtime.disagg` — disaggregated prefill/decode serving:
+  pool roles, phase-pinned scheduling policies, and size-proportional
+  KV hand-off pricing across the pool boundary;
 * :mod:`repro.runtime.metrics` — latency/throughput accounting.
 """
 
@@ -99,6 +102,12 @@ from repro.runtime.autoscaler import (
     estimate_cold_start_s,
 )
 from repro.runtime.placement import AdapterPlacement, PlacementConfig
+from repro.runtime.disagg import (
+    DECODE_POOL,
+    PREFILL_POOL,
+    DisaggConfig,
+    PhasePinnedPolicy,
+)
 from repro.runtime.cluster import MultiGPUServer
 from repro.runtime.metrics import (
     AbortRecord,
@@ -171,6 +180,10 @@ __all__ = [
     "estimate_cold_start_s",
     "AdapterPlacement",
     "PlacementConfig",
+    "DisaggConfig",
+    "PhasePinnedPolicy",
+    "PREFILL_POOL",
+    "DECODE_POOL",
     "MultiGPUServer",
     "MetricsCollector",
     "RequestRecord",

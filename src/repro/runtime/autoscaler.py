@@ -127,6 +127,11 @@ class AutoscaleConfig:
     max_replicas: int = 4
     interval_s: float = 0.5
     target_queue_per_replica: float = 8.0
+    #: When set, scale on a caller-supplied utilization fraction (e.g.
+    #: the decode pool's fleet KV residency in disaggregated serving)
+    #: instead of queue depth: up above the target, down below
+    #: ``down_fraction`` of it.  ``None`` keeps the queue-depth signal.
+    target_utilization: Optional[float] = None
     down_fraction: float = 0.25
     slo_floor: Optional[float] = None
     ewma_alpha: float = 0.4
@@ -145,6 +150,9 @@ class AutoscaleConfig:
             raise ValueError("interval_s must be positive")
         if self.target_queue_per_replica <= 0:
             raise ValueError("target_queue_per_replica must be positive")
+        if (self.target_utilization is not None
+                and not 0.0 < self.target_utilization <= 1.0):
+            raise ValueError("target_utilization must be in (0, 1]")
         if not 0.0 < self.down_fraction < 1.0:
             raise ValueError("down_fraction must be in (0, 1)")
         if self.slo_floor is not None and not 0.0 < self.slo_floor <= 1.0:
@@ -175,6 +183,7 @@ class Autoscaler:
     def __init__(self, config: AutoscaleConfig = AutoscaleConfig()):
         self.config = config
         self.queue_signal = EwmaSignal(config.ewma_alpha)
+        self.util_signal = EwmaSignal(config.ewma_alpha)
         self.slo_signal = EwmaSignal(config.ewma_alpha, initial=1.0)
         self._last_up = float("-inf")
         self._last_down = float("-inf")
@@ -190,6 +199,7 @@ class Autoscaler:
         num_draining: int = 0,
         num_suspected: int = 0,
         slo_sample: Optional[float] = None,
+        utilization: Optional[float] = None,
     ) -> int:
         """Fold one control-interval sample in; returns the replica delta.
 
@@ -204,12 +214,28 @@ class Autoscaler:
         flap while the detector decides) but their capacity is treated
         as unavailable, so a suspected-heavy cluster scales up instead
         of queueing behind maybe-dead replicas.
+
+        With :attr:`AutoscaleConfig.target_utilization` set *and* a
+        ``utilization`` sample supplied, the up/down pressure is judged
+        on the smoothed utilization fraction instead of queue depth —
+        the decode pool of a disaggregated cluster scales on its fleet
+        KV residency this way.  The min-replica self-healing floor and
+        the SLO signal are unchanged either way.
         """
         cfg = self.config
         self.decisions += 1
         provisioned = num_active - num_suspected + num_warming
         per_replica = queue_depth / max(1, provisioned)
         smoothed_q = self.queue_signal.observe(per_replica)
+        if utilization is not None and cfg.target_utilization is not None:
+            smoothed_u = self.util_signal.observe(utilization)
+            up_pressure = smoothed_u > cfg.target_utilization
+            down_room = smoothed_u < (cfg.target_utilization
+                                      * cfg.down_fraction)
+        else:
+            up_pressure = smoothed_q > cfg.target_queue_per_replica
+            down_room = smoothed_q < (cfg.target_queue_per_replica
+                                      * cfg.down_fraction)
         if slo_sample is not None:
             self.slo_signal.observe(slo_sample)
         smoothed_slo = self.slo_signal.value
@@ -227,8 +253,7 @@ class Autoscaler:
                         and smoothed_slo < cfg.slo_floor)
         if (members < cfg.max_replicas
                 and now - self._last_up >= cfg.up_cooldown_s
-                and (smoothed_q > cfg.target_queue_per_replica
-                     or slo_pressure)):
+                and (up_pressure or slo_pressure)):
             self._last_up = now
             # Scaling up also re-arms the down cooldown so the policy
             # cannot immediately retire the replica it just paid to warm.
@@ -238,8 +263,7 @@ class Autoscaler:
         if (num_active - num_suspected > cfg.min_replicas
                 and num_warming == 0
                 and now - self._last_down >= cfg.down_cooldown_s
-                and smoothed_q < cfg.target_queue_per_replica
-                * cfg.down_fraction
+                and down_room
                 and not slo_pressure):
             self._last_down = now
             return -1

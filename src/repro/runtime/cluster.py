@@ -60,6 +60,15 @@ from repro.runtime.autoscaler import (
     ReplicaState,
     estimate_cold_start_s,
 )
+from repro.runtime.costcache import TransferCostCache
+from repro.runtime.disagg import (
+    DECODE_POOL,
+    PREFILL_POOL,
+    DisaggConfig,
+    apply_pool_role,
+    kv_transfer_bytes,
+    pool_of_index,
+)
 from repro.runtime.engine import ServingEngine
 from repro.runtime.failure_detection import (
     Completion,
@@ -123,10 +132,32 @@ class MultiGPUServer:
                  hedge: Optional[HedgeConfig] = None,
                  retry_budget: Optional[RetryBudget] = None,
                  timeout_policy: Optional[TimeoutPolicy] = None,
-                 placement: Optional[AdapterPlacement] = None):
+                 placement: Optional[AdapterPlacement] = None,
+                 disagg: Optional[DisaggConfig] = None):
         engines = list(engines)
         if not engines:
             raise ValueError("need at least one engine")
+        if disagg is not None:
+            expected = disagg.prefill_replicas + disagg.decode_replicas
+            if len(engines) != expected:
+                raise ValueError(
+                    f"disaggregation wants {disagg.prefill_replicas} prefill "
+                    f"+ {disagg.decode_replicas} decode replicas = "
+                    f"{expected} engines, got {len(engines)}"
+                )
+            if autoscaler is not None:
+                raise ValueError(
+                    "a disaggregated cluster scales its pools "
+                    "independently; use DisaggConfig.prefill_autoscale / "
+                    "decode_autoscale instead of a cluster-wide autoscaler"
+                )
+            if ((disagg.prefill_autoscale is not None
+                 or disagg.decode_autoscale is not None)
+                    and engine_factory is None):
+                raise ValueError(
+                    "pool autoscaling needs an engine_factory to spawn "
+                    "replicas"
+                )
         if num_hosts < 0:
             raise ValueError(f"num_hosts must be >= 0, got {num_hosts}")
         if dispatch not in DISPATCH_POLICIES:
@@ -163,6 +194,36 @@ class MultiGPUServer:
         if dispatch == "locality" and placement is None:
             placement = AdapterPlacement()
         self.placement = placement
+        #: Disaggregated prefill/decode serving (runtime/disagg.py).
+        #: ``None`` keeps every replica colocated (bit-identical legacy
+        #: behavior); set, it splits the fleet into pools, routes fresh
+        #: dispatch to the prefill pool only, and runs the per-epoch
+        #: KV-transfer pass.
+        self.disagg = disagg
+        #: replica_id -> pool role ("prefill"/"decode"); empty when
+        #: colocated, so every ``.get(...) != DECODE_POOL`` check is a
+        #: no-op filter.
+        self._pool_of: Dict[str, str] = {}
+        self._transfer_costs = (
+            TransferCostCache(
+                async_overlap=disagg.transfer_overlap,
+                software_overhead_s=disagg.transfer_overhead_s,
+            ) if disagg is not None else None
+        )
+        #: (pool, scaler) pairs driving scale/drain passes.  A legacy
+        #: cluster-wide autoscaler is the single ``(None, scaler)``
+        #: entry; a disaggregated cluster carries one entry per pool
+        #: that opted into autoscaling.
+        self._scalers: List[Tuple[Optional[str], Autoscaler]] = []
+        if autoscaler is not None:
+            self._scalers.append((None, autoscaler))
+        if disagg is not None:
+            if disagg.prefill_autoscale is not None:
+                self._scalers.append(
+                    (PREFILL_POOL, Autoscaler(disagg.prefill_autoscale)))
+            if disagg.decode_autoscale is not None:
+                self._scalers.append(
+                    (DECODE_POOL, Autoscaler(disagg.decode_autoscale)))
         #: Lease fencing is on whenever terminals must be deduplicated:
         #: with a detector (zombie replays) or with hedging (two live
         #: copies racing to the same terminal).
@@ -195,7 +256,14 @@ class MultiGPUServer:
         ]
         self._replica_of = {rep.replica_id: rep for rep in self.replicas}
         self._next_replica_idx = len(self.replicas)
-        self._spawns_used = 0
+        #: Spawns consumed per pool (``None`` = the cluster-wide pool),
+        #: each bounded by its own scaler's ``spawn_budget``.
+        self._spawns_used: Dict[Optional[str], int] = {}
+        if disagg is not None:
+            for i, rep in enumerate(self.replicas):
+                pool = pool_of_index(i, disagg)
+                self._pool_of[rep.replica_id] = pool
+                apply_pool_role(rep.engine, pool, disagg)
         #: Requests accepted but not yet placed on a replica
         #: (epoched mode only), ordered by (arrival, id).  The sequence
         #: counter breaks (arrival, id) ties: a hedge twin shares its
@@ -249,6 +317,21 @@ class MultiGPUServer:
 
     def _members(self, *states: ReplicaState) -> List[Replica]:
         return [rep for rep in self.replicas if rep.state in states]
+
+    def _pool_members(self, pool: Optional[str],
+                      *states: ReplicaState) -> List[Replica]:
+        """Members of one pool (``None`` = every replica, legacy)."""
+        members = self._members(*states)
+        if pool is None:
+            return members
+        return [rep for rep in members
+                if self._pool_of.get(rep.replica_id) == pool]
+
+    def _takes_fresh_dispatch(self, engine: ServingEngine) -> bool:
+        """Decode-pool replicas never take fresh (unprefilled) traffic —
+        requests reach them only through the KV-transfer pass."""
+        return (self.disagg is None
+                or self._pool_of.get(engine.engine_id) != DECODE_POOL)
 
     # -- health ------------------------------------------------------------------
 
@@ -365,7 +448,8 @@ class MultiGPUServer:
             for r in requests:
                 self.retry_budget.deposit(r.priority)
         if (self.autoscaler is not None or self.detector is not None
-                or self.hedge is not None or self.placement is not None):
+                or self.hedge is not None or self.placement is not None
+                or self.disagg is not None):
             self._requeue(requests)
             return
         self._dispatch(requests, self.engines)
@@ -503,7 +587,8 @@ class MultiGPUServer:
         ``summary()`` accounts for every submitted request.
         """
         if (self.autoscaler is not None or self.detector is not None
-                or self.hedge is not None or self.placement is not None):
+                or self.hedge is not None or self.placement is not None
+                or self.disagg is not None):
             return self._run_epoched(until)
         return self._run_static(until)
 
@@ -566,14 +651,16 @@ class MultiGPUServer:
         spawn or drain a replica.  The loop ends when no undispatched,
         in-flight, or undelivered work remains (or at ``until``).
         """
-        if self.autoscaler is not None:
-            interval = self.autoscaler.config.interval_s
+        if self._scalers:
+            interval = min(s.config.interval_s for _, s in self._scalers)
         elif self.detector is not None:
             interval = self.detector.config.interval_s
         elif self.hedge is not None:
             interval = self.hedge.interval_s
-        else:
+        elif self.placement is not None:
             interval = self.placement.config.interval_s
+        else:
+            interval = self.disagg.interval_s
         now = 0.0
         for _ in range(self._MAX_EPOCHS):
             t_next = now + interval
@@ -584,6 +671,8 @@ class MultiGPUServer:
             for rep in self._members(ReplicaState.ACTIVE,
                                      ReplicaState.DRAINING):
                 rep.engine.run(until=t_next)
+            if self.disagg is not None:
+                self._transfer_pass(t_next)
             if self.detector is not None:
                 self._deliver_pass(t_next)
                 self._heartbeat_pass(t_next)
@@ -596,14 +685,14 @@ class MultiGPUServer:
                 self._hedge_pass(t_next)
             if self.placement is not None:
                 self._placement_pass()
-            if self.autoscaler is not None:
+            if self._scalers:
                 self._drain_pass(t_next)
             now = t_next
             if until is not None and now >= until:
                 break
             if self._quiescent():
                 break
-            if self.autoscaler is not None:
+            if self._scalers:
                 self._scale_pass(now)
             self._abort_unplaceable(now)
         else:
@@ -662,6 +751,9 @@ class MultiGPUServer:
             active = [rep.engine
                       for rep in self._members(ReplicaState.ACTIVE)
                       if not rep.engine.failed]
+        # Disaggregated: fresh requests always need a prefill first, so
+        # only the prefill pool receives dispatch.
+        active = [e for e in active if self._takes_fresh_dispatch(e)]
         if not active:
             return  # hold the queue; warming/healing will provide capacity
         due: List[Request] = []
@@ -796,7 +888,11 @@ class MultiGPUServer:
                 candidates.append((started, r.arrival_time, rid, i, r))
         candidates.sort(key=lambda c: c[:3])
         for _, _, rid, i, r in candidates:
-            targets = [j for j in allowed_set if j != i]
+            # A hedge twin starts unprefilled, so in a disaggregated
+            # cluster it must race in through the prefill pool — even
+            # when its stuck primary sits on a decode replica.
+            targets = [j for j in allowed_set if j != i
+                       and self._takes_fresh_dispatch(engines[j])]
             if not targets:
                 continue
             if (self.retry_budget is not None
@@ -836,6 +932,112 @@ class MultiGPUServer:
         stats = self.placement.rebalance()
         self.cluster_metrics.placement_replications += stats["replications"]
         self.cluster_metrics.placement_demotions += stats["demotions"]
+
+    # -- disaggregated KV transfer (runtime/disagg.py) -----------------------------
+
+    def _transfer_targets(self) -> List[ServingEngine]:
+        """Decode replicas a hand-off may be delivered to right now."""
+        out = []
+        for rep in self._members(ReplicaState.ACTIVE):
+            if self._pool_of.get(rep.replica_id) != DECODE_POOL:
+                continue
+            e = rep.engine
+            if self.detector is not None:
+                # Route by *believed* health, exactly like dispatch: a
+                # silently-dead decode replica still receives transfers
+                # (realistically stranding them until confirmation
+                # seizes and rewinds them).
+                if (self.detector.state_of(rep.replica_id)
+                        is not SuspicionState.ALIVE):
+                    continue
+            elif e.failed:
+                continue
+            out.append(e)
+        return out
+
+    @staticmethod
+    def _transfer_target_key(engine: ServingEngine):
+        """Most free KV first; ties break to the emptiest, then id."""
+        kv = engine.kv
+        used = (kv.num_blocks - kv.free_blocks) / max(1, kv.num_blocks)
+        return (used, engine.num_live, engine.engine_id)
+
+    def _transfer_pass(self, t_next: float) -> None:
+        """Hand finished prefills across the pool boundary.
+
+        Every reachable prefill replica's ``handoff_outbox`` drains to
+        the decode replica with the most free KV; each move is charged
+        a size-proportional wire cost (the same transfer model that
+        prices adapter swap-ins) by flooring the request's admission at
+        ``t_next + wire_seconds`` — its arrival time (TTFT, deadline)
+        is untouched, and :meth:`ServingEngine.submit` re-stamps its
+        lease so fencing keeps working across the boundary.
+
+        Unreachable sources keep their outboxes: a dead prefill
+        replica's hand-offs rewind through the failover machinery
+        (``drain_orphans`` covers the outbox — exactly-once), and a
+        partitioned one simply waits for heal or confirmation.  With no
+        live decode target, hand-offs wait while the decode pool warms
+        or can still spawn; once it is permanently gone they abort —
+        there is nowhere left to decode.
+        """
+        sources = [
+            rep for rep in self._members(ReplicaState.ACTIVE,
+                                         ReplicaState.DRAINING)
+            if self._pool_of.get(rep.replica_id) == PREFILL_POOL
+            and rep.engine.handoff_outbox
+        ]
+        if not sources:
+            return
+        targets = self._transfer_targets()
+        decode_alive = bool(self._pool_members(
+            DECODE_POOL, ReplicaState.WARMING, ReplicaState.ACTIVE,
+            ReplicaState.DRAINING))
+        for rep in sources:
+            e = rep.engine
+            if e.failed:
+                # Failed for real (scheduled deaths materialize lazily,
+                # when the engine runs past them — same convention as
+                # dispatch): failover/confirmation rewinds the outbox.
+                continue
+            if (self.detector is not None and e.faults is not None
+                    and e.faults.partitioned(e.engine_id, t_next,
+                                             host=e.host)):
+                continue  # partition during hand-off: wait for heal
+            if not targets:
+                if decode_alive or self._can_spawn(DECODE_POOL):
+                    continue  # decode capacity is (or may be) coming
+                outbox, e.handoff_outbox = e.handoff_outbox, []
+                for r in outbox:
+                    if r.request_id in self._accepted:
+                        self.cluster_metrics.hedge_losses += 1
+                        if not r.is_hedge:
+                            self._mirror_outcome(r)
+                        continue
+                    if r.is_hedge:
+                        self._hedged_rids.discard(r.request_id)
+                        self.cluster_metrics.hedge_losses += 1
+                        continue
+                    self.cluster_metrics.kv_transfer_aborts += 1
+                    self._cluster_abort(r, max(r.arrival_time, t_next))
+                continue
+            outbox, e.handoff_outbox = e.handoff_outbox, []
+            for r in sorted(outbox, key=lambda q: (q.arrival_time,
+                                                   q.request_id)):
+                if r.request_id in self._accepted:
+                    # The other copy of a hedged pair already won.
+                    self.cluster_metrics.hedge_losses += 1
+                    if not r.is_hedge:
+                        self._mirror_outcome(r)
+                    continue
+                dst = min(targets, key=self._transfer_target_key)
+                nbytes = kv_transfer_bytes(r, dst.model)
+                wire_s = self._transfer_costs.seconds(
+                    dst.adapters.transfer, nbytes)
+                self.cluster_metrics.kv_transfers += 1
+                self.cluster_metrics.kv_transfer_seconds += wire_s
+                self.cluster_metrics.kv_transfer_bytes += nbytes
+                dst.submit([r], not_before=t_next + wire_s)
 
     # -- failure-detection passes (detector mode only) -----------------------------
 
@@ -1072,12 +1274,14 @@ class MultiGPUServer:
         the cluster chose to retire it), so scale-down churn can never
         abort a healthy request via ``max_requeues``.
         """
-        cfg = self.autoscaler.config
-        drain_timeout = cfg.drain_timeout_s
-        if (self.timeout_policy is not None
-                and self.timeout_policy.drain_timeout_s is not None):
-            drain_timeout = self.timeout_policy.drain_timeout_s
         for rep in self._members(ReplicaState.DRAINING):
+            scaler = self._scaler_of(rep)
+            if scaler is None:
+                continue  # only scalers start drains, so this is dead code
+            drain_timeout = scaler.config.drain_timeout_s
+            if (self.timeout_policy is not None
+                    and self.timeout_policy.drain_timeout_s is not None):
+                drain_timeout = self.timeout_policy.drain_timeout_s
             e = rep.engine
             if e.num_live == 0:
                 self._retire(rep, max(t_next, e.clock.now), "retire",
@@ -1109,37 +1313,61 @@ class MultiGPUServer:
         )
         self._record_event(now, action, rep, reason)
 
+    def _scaler_of(self, rep: Replica) -> Optional[Autoscaler]:
+        """The scaler owning one replica's pool (None = unscaled pool)."""
+        pool = self._pool_of.get(rep.replica_id)
+        for p, scaler in self._scalers:
+            if p == pool:
+                return scaler
+        return None
+
     def _scale_pass(self, now: float) -> None:
-        active = self._members(ReplicaState.ACTIVE)
-        warming = self._members(ReplicaState.WARMING)
-        draining = self._members(ReplicaState.DRAINING)
-        queue_depth = sum(rep.engine.num_live
-                          for rep in active + warming + draining)
-        queue_depth += sum(
-            1 for arrival, _, _, _ in self._undispatched if arrival <= now
-        )
-        num_suspected = 0
-        if self.detector is not None:
-            num_suspected = sum(
-                1 for rep in active
-                if self.detector.state_of(rep.replica_id)
-                is SuspicionState.SUSPECTED
+        slo_sample = self._slo_sample()
+        for pool, scaler in self._scalers:
+            active = self._pool_members(pool, ReplicaState.ACTIVE)
+            warming = self._pool_members(pool, ReplicaState.WARMING)
+            draining = self._pool_members(pool, ReplicaState.DRAINING)
+            queue_depth = sum(rep.engine.num_live
+                              for rep in active + warming + draining)
+            if pool != DECODE_POOL:
+                # Overdue undispatched requests are prefill-pool
+                # pressure: fresh traffic only ever dispatches there.
+                queue_depth += sum(
+                    1 for arrival, _, _, _ in self._undispatched
+                    if arrival <= now
+                )
+            utilization = None
+            if scaler.config.target_utilization is not None:
+                blocks = used = 0
+                for rep in active:
+                    kv = rep.engine.kv
+                    blocks += kv.num_blocks
+                    used += kv.num_blocks - kv.free_blocks
+                utilization = used / blocks if blocks else 1.0
+            num_suspected = 0
+            if self.detector is not None:
+                num_suspected = sum(
+                    1 for rep in active
+                    if self.detector.state_of(rep.replica_id)
+                    is SuspicionState.SUSPECTED
+                )
+            delta = scaler.observe(
+                now,
+                queue_depth=queue_depth,
+                num_active=len(active),
+                num_warming=len(warming),
+                num_draining=len(draining),
+                num_suspected=num_suspected,
+                slo_sample=slo_sample,
+                utilization=utilization,
             )
-        delta = self.autoscaler.observe(
-            now,
-            queue_depth=queue_depth,
-            num_active=len(active),
-            num_warming=len(warming),
-            num_draining=len(draining),
-            num_suspected=num_suspected,
-            slo_sample=self._slo_sample(),
-        )
-        if delta > 0:
-            for _ in range(delta):
-                if not self._spawn_replica(now):
-                    break
-        elif delta < 0:
-            self._drain_one(now)
+            if delta > 0:
+                for _ in range(delta):
+                    if not self._spawn_replica(now, pool=pool,
+                                               scaler=scaler):
+                        break
+            elif delta < 0:
+                self._drain_one(now, pool=pool, scaler=scaler)
 
     def _slo_sample(self) -> Optional[float]:
         """SLO attainment among requests turned terminal since last call.
@@ -1169,14 +1397,26 @@ class MultiGPUServer:
             return None
         return met / total
 
-    def _can_spawn(self) -> bool:
-        if self.autoscaler is None:
-            return False  # detector-only clusters have a fixed replica set
-        cfg = self.autoscaler.config
-        members = self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
-                                ReplicaState.DRAINING)
+    def _can_spawn(self, pool: Optional[str] = None,
+                   scaler: Optional[Autoscaler] = None) -> bool:
+        """Whether ``pool`` (or, with no arguments, *any* pool) can grow.
+
+        Detector-only clusters have a fixed replica set (no scalers),
+        matching the legacy behavior.
+        """
+        if scaler is None:
+            if pool is None and len(self._scalers) != 1:
+                return any(self._can_spawn(p, s) for p, s in self._scalers)
+            for p, s in self._scalers:
+                if p == pool or pool is None:
+                    return self._can_spawn(p, s)
+            return False
+        cfg = scaler.config
+        members = self._pool_members(pool, ReplicaState.WARMING,
+                                     ReplicaState.ACTIVE,
+                                     ReplicaState.DRAINING)
         return (self.engine_factory is not None
-                and self._spawns_used < cfg.spawn_budget
+                and self._spawns_used.get(pool, 0) < cfg.spawn_budget
                 and len(members) < cfg.max_replicas)
 
     def _fresh_replica_id(self) -> str:
@@ -1186,13 +1426,19 @@ class MultiGPUServer:
             if rid not in self._replica_of:
                 return rid
 
-    def _spawn_replica(self, now: float) -> bool:
+    def _spawn_replica(self, now: float, pool: Optional[str] = None,
+                       scaler: Optional[Autoscaler] = None) -> bool:
         """Provision one WARMING replica; False when spawning is capped."""
-        if not self._can_spawn():
+        if scaler is None:
+            scaler = self.autoscaler
+        if not self._can_spawn(pool, scaler):
             return False
-        cfg = self.autoscaler.config
+        cfg = scaler.config
         engine = self.engine_factory()
         engine.engine_id = self._fresh_replica_id()
+        if pool is not None:
+            self._pool_of[engine.engine_id] = pool
+            apply_pool_role(engine, pool, self.disagg)
         if self._num_hosts:
             engine.host = f"host-{self._host_seq % self._num_hosts}"
             self._host_seq += 1
@@ -1200,7 +1446,7 @@ class MultiGPUServer:
             engine.enable_fencing()
         if self.retry_budget is not None:
             engine.retry_budget = self.retry_budget
-        self._spawns_used += 1
+        self._spawns_used[pool] = self._spawns_used.get(pool, 0) + 1
         prefetch_ids: List[str] = []
         if self.placement is not None:
             # Warm up with the fleet's current hot set: the cold start
@@ -1222,14 +1468,19 @@ class MultiGPUServer:
             self.placement.apply_prefetch(engine, prefetch_ids, now)
             self.placement.register_replica(engine)
             self.cluster_metrics.adapters_prefetched += len(prefetch_ids)
+        pool_tag = f" [{pool}]" if pool is not None else ""
         self._record_event(now, "spawn", rep,
-                           f"cold start {cold * stall:.3f}s")
+                           f"cold start {cold * stall:.3f}s{pool_tag}")
         return True
 
-    def _drain_one(self, now: float) -> None:
+    def _drain_one(self, now: float, pool: Optional[str] = None,
+                   scaler: Optional[Autoscaler] = None) -> None:
         """Quiesce the scale-down victim: worst health, then emptiest."""
-        cfg = self.autoscaler.config
-        candidates = [rep for rep in self._members(ReplicaState.ACTIVE)
+        if scaler is None:
+            scaler = self.autoscaler
+        cfg = scaler.config
+        candidates = [rep for rep in self._pool_members(
+                          pool, ReplicaState.ACTIVE)
                       if not rep.engine.failed]
         if len(candidates) <= cfg.min_replicas:
             return
@@ -1261,10 +1512,13 @@ class MultiGPUServer:
         """
         if not self._undispatched:
             return
-        if self._members(ReplicaState.WARMING, ReplicaState.ACTIVE,
-                         ReplicaState.DRAINING):
+        # Disaggregated: the queue can only ever drain through the
+        # prefill pool, so decode-only survivors do not count.
+        pool = PREFILL_POOL if self.disagg is not None else None
+        if self._pool_members(pool, ReplicaState.WARMING,
+                              ReplicaState.ACTIVE, ReplicaState.DRAINING):
             return
-        if self._can_spawn():
+        if self._can_spawn(pool):
             return
         while self._undispatched:
             r = heapq.heappop(self._undispatched)[-1]

@@ -180,3 +180,46 @@ class IterationCostCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class TransferCostCache:
+    """Memoized KV-transfer pricing for disaggregated hand-offs.
+
+    The cluster's transfer pass prices every prefill→decode hand-off as
+    a synchronous move of ``context_len * kv_bytes_per_token`` bytes
+    over the replica's :class:`~repro.hardware.memory.TransferModel`
+    (the same model that prices adapter swap-ins).  Transfer sizes
+    repeat heavily — context lengths cluster around the workload's
+    prompt/output distribution — so the wire time is memoized per byte
+    count.  Replicas are identical molds of one engine factory, so a
+    single table serves the whole fleet; the overlap/overhead knobs are
+    fixed at construction (they come from the immutable
+    :class:`~repro.runtime.disagg.DisaggConfig`).
+    """
+
+    def __init__(self, async_overlap: float = 0.0,
+                 software_overhead_s: Optional[float] = None,
+                 max_entries: int = 65536):
+        self.async_overlap = async_overlap
+        self.software_overhead_s = software_overhead_s
+        self.max_entries = max_entries
+        self._memo: Dict[int, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def seconds(self, transfer, nbytes: int) -> float:
+        """Wire seconds for one ``nbytes`` KV move over ``transfer``."""
+        t = self._memo.get(nbytes)
+        if t is None:
+            self.misses += 1
+            t = transfer.swap_seconds(
+                nbytes,
+                async_overlap=self.async_overlap,
+                software_overhead_s=self.software_overhead_s,
+            )
+            if len(self._memo) >= self.max_entries:
+                self._memo.clear()
+            self._memo[nbytes] = t
+        else:
+            self.hits += 1
+        return t

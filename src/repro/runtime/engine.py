@@ -128,6 +128,168 @@ class EngineConfig:
             raise ValueError("max_swap_retries must be >= 1")
 
 
+class PhaseExecutor:
+    """One serving phase (prefill or decode) behind a shared protocol.
+
+    The engine's iteration loop is composed from two of these: each
+    phase carves its share out of the mixed continuous batch
+    (:meth:`select`), contributes its part of the memoization
+    :class:`BatchSignature` (:meth:`signature_fields`), prices itself
+    through the analytical cost tower (:meth:`cost_seconds` — the
+    uncached reference path), adds its per-adapter token contributions
+    to the LoRA-operator cost input (:meth:`accumulate_tokens`), and
+    applies its post-iteration request transition (:meth:`advance`).
+    Disaggregated serving (:mod:`repro.runtime.disagg`) reuses the same
+    executors, with a pool role restricting which phase an engine runs
+    to completion.
+
+    Bit-identity contract: the composed executors evaluate every float
+    in the same order, and draw from the rng stream at the same points,
+    as the pre-refactor monolithic loop — the golden determinism
+    digests and the phase-executor equivalence property cover this.
+    """
+
+    phase = "?"
+
+    def __init__(self, engine: "ServingEngine"):
+        self.engine = engine
+
+    def select(self, batch: Sequence[Request]) -> List[Request]:
+        """This phase's share of a mixed continuous batch."""
+        raise NotImplementedError
+
+    def plan(self, requests: Sequence[Request]):
+        """Phase-specific precomputation shared by the hooks below."""
+        return None
+
+    def signature_fields(self, requests: Sequence[Request], plan):
+        """This phase's fields of the batch's :class:`BatchSignature`."""
+        raise NotImplementedError
+
+    def cost_seconds(self, requests: Sequence[Request], plan) -> float:
+        """Base-model cost of this phase (uncached reference path)."""
+        raise NotImplementedError
+
+    def accumulate_tokens(self, requests: Sequence[Request], plan,
+                          adapter_tokens: Dict[str, int]) -> None:
+        """Add this phase's per-adapter token contributions in place."""
+        raise NotImplementedError
+
+    def advance(self, request: Request) -> None:
+        """Post-iteration transition: every batch member appends one
+        token (a prefill's first, a decode's next)."""
+        engine = self.engine
+        engine.kv.append_token(request.request_id)
+        request.generated += 1
+        if request.first_token_time is None:
+            request.first_token_time = engine.clock.now
+
+
+class PrefillExecutor(PhaseExecutor):
+    """Prefill phase: not-yet-prefilled requests pay prompt compute."""
+
+    phase = "prefill"
+
+    def select(self, batch: Sequence[Request]) -> List[Request]:
+        return [r for r in batch if not r.prefilled]
+
+    def plan(self, requests: Sequence[Request]) -> List[int]:
+        # Effective prompt tokens after prefix reuse (floor 1: a fully
+        # reused prompt still pays one positional launch).
+        reused = self.engine._reused_tokens
+        return [
+            max(r.context_len - reused.get(r.request_id, 0), 1)
+            for r in requests
+        ]
+
+    def signature_fields(self, requests, plan):
+        if not requests:
+            return {"prefill_launches": ()}
+        if self.engine.config.batch_prefills:
+            num_images = sum(r.num_images for r in requests)
+            return {"prefill_launches": ((tuple(plan), num_images),)}
+        return {"prefill_launches": tuple(
+            ((tok,), r.num_images) for r, tok in zip(requests, plan)
+        )}
+
+    def cost_seconds(self, requests, plan) -> float:
+        if not requests:
+            return 0.0
+        engine = self.engine
+        t = 0.0
+        num_images = sum(r.num_images for r in requests)
+        if engine.config.batch_prefills:
+            t += engine.iter_costs.prefill_seconds(plan, num_images)
+        else:
+            # Per-request prefill: each pays its own iteration.
+            for r, tok in zip(requests, plan):
+                t += engine.iter_costs.prefill_seconds([tok], r.num_images)
+        return t
+
+    def accumulate_tokens(self, requests, plan, adapter_tokens) -> None:
+        for r, tok in zip(requests, plan):
+            adapter_tokens[r.adapter_id] = (
+                adapter_tokens.get(r.adapter_id, 0) + tok
+            )
+
+    def advance(self, request: Request) -> None:
+        request.prefilled = True
+        request.status = RequestStatus.RUNNING
+        super().advance(request)
+
+
+class DecodeExecutor(PhaseExecutor):
+    """Decode phase: prefilled requests each decode one token."""
+
+    phase = "decode"
+
+    def select(self, batch: Sequence[Request]) -> List[Request]:
+        return [r for r in batch if r.prefilled]
+
+    def signature_fields(self, requests, plan):
+        num_decodes = 0
+        total_context = 0
+        lm = False
+        head_classes = 0
+        if requests:
+            num_decodes = len(requests)
+            for r in requests:
+                total_context += r.context_len
+                if r.use_task_head:
+                    classes = self.engine._task_classes_of(r.adapter_id)
+                    if classes > head_classes:
+                        head_classes = classes
+                else:
+                    lm = True
+        return {
+            "num_decodes": num_decodes,
+            "decode_context_total": total_context,
+            "lm_head": lm,
+            "task_head_classes": head_classes,
+        }
+
+    def cost_seconds(self, requests, plan) -> float:
+        if not requests:
+            return 0.0
+        engine = self.engine
+        contexts = [r.context_len for r in requests]
+        lm = any(not r.use_task_head for r in requests)
+        head_classes = max(
+            (engine.adapters.spec(r.adapter_id).task_head_classes or 101
+             for r in requests if r.use_task_head),
+            default=0,
+        )
+        return engine.iter_costs.decode_seconds(
+            contexts, lm_head=lm, task_head_classes=head_classes
+        )
+
+    def accumulate_tokens(self, requests, plan, adapter_tokens) -> None:
+        for r in requests:
+            adapter_tokens[r.adapter_id] = (
+                adapter_tokens.get(r.adapter_id, 0) + 1
+            )
+
+
 class ServingEngine:
     """One GPU's serving loop over a simulated clock."""
 
@@ -260,11 +422,38 @@ class ServingEngine:
         )
         self._rank_cache: Dict[str, int] = {}
         self._task_class_cache: Dict[str, int] = {}
+        # -- composable phase executors ------------------------------------
+        self.prefill_exec = PrefillExecutor(self)
+        self.decode_exec = DecodeExecutor(self)
+        self.phase_executors: Tuple[PhaseExecutor, ...] = (
+            self.prefill_exec, self.decode_exec
+        )
+        # -- disaggregated serving hooks (runtime/disagg.py) ---------------
+        #: Prefill-pool engines park finished prefills here instead of
+        #: decoding them; the cluster's KV-transfer pass drains it,
+        #: prices the move over the wire, and delivers the request to a
+        #: decode replica.  Always empty in colocated serving.
+        self.handoff_after_prefill = False
+        self.handoff_outbox: List[Request] = []
+        #: Decode-pool engines allocate local KV for transferred-in
+        #: prefilled requests (their sequence lives on the prefill
+        #: replica no more).  Off everywhere else so the colocated
+        #: admission hot path is untouched.
+        self.accepts_kv_transfers = False
 
     # -- submission ---------------------------------------------------------------
 
-    def submit(self, requests: Sequence[Request]) -> None:
-        """Queue requests for their arrival times (may be in the future)."""
+    def submit(self, requests: Sequence[Request],
+               not_before: Optional[float] = None) -> None:
+        """Queue requests for their arrival times (may be in the future).
+
+        ``not_before`` floors the admission time without touching
+        ``arrival_time`` (which anchors TTFT, latency, and deadline
+        accounting): the disaggregated transfer pass delivers a
+        handed-off request with ``not_before = now + wire_seconds`` so
+        the KV move is charged on the wire while the request's
+        end-to-end clock keeps running from its original arrival.
+        """
         if self.quiesced and requests:
             raise RuntimeError(
                 f"engine {self.engine_id} is quiesced (draining); "
@@ -274,8 +463,10 @@ class ServingEngine:
             self.adapters.spec(r.adapter_id)  # validate adapter exists
             if self._fencing:
                 r.lease = (self.engine_id, self.lease_epoch)
+            due = (r.arrival_time if not_before is None
+                   else max(r.arrival_time, not_before))
             heapq.heappush(
-                self._pending, (r.arrival_time, r.request_id, r)
+                self._pending, (due, r.request_id, r)
             )
 
     def enable_fencing(self) -> None:
@@ -293,7 +484,10 @@ class ServingEngine:
 
     @property
     def num_live(self) -> int:
-        return len(self._pending) + len(self._active)
+        # Finished prefills awaiting their KV transfer still belong to
+        # this engine until the cluster's transfer pass collects them.
+        return (len(self._pending) + len(self._active)
+                + len(self.handoff_outbox))
 
     # -- drain lifecycle (cluster scale-down) --------------------------------------
 
@@ -862,8 +1056,14 @@ class ServingEngine:
             r = entry[2]
             r.reset_for_requeue(now, count_hop=count_hop)
             orphans.append(r)
+        for r in self.handoff_outbox:
+            # A finished prefill the cluster never collected: its KV
+            # died with this GPU, so it re-prefills wherever it lands.
+            r.reset_for_requeue(now, count_hop=count_hop)
+            orphans.append(r)
         self._active = {}
         self._pending = []
+        self.handoff_outbox = []
         self._adapter_counts = {}
         self._deadline_heap = []
         self._active_in_order = True
@@ -946,6 +1146,22 @@ class ServingEngine:
         admitted: List[Request] = []
         for r in batch:
             if r.prefilled:
+                if (self.accepts_kv_transfers
+                        and not self.kv.has_sequence(r.request_id)):
+                    # Transferred-in hand-off: the sequence's KV stayed
+                    # behind on the prefill replica; seed a local copy
+                    # at its full context (the bytes just crossed the
+                    # wire — the cluster already charged the move).
+                    if not self.kv.can_allocate(r.context_len):
+                        self.kv.evict_stale_prefixes(
+                            self.clock.now - self.config.prefix_ttl_s
+                        )
+                    if not self.kv.can_allocate(r.context_len):
+                        continue  # stays waiting; retried next iteration
+                    self.kv.allocate(
+                        r.request_id, r.context_len, now=self.clock.now,
+                    )
+                    self._reused_tokens[r.request_id] = 0
                 admitted.append(r)
                 continue
             prefix_key = (
@@ -1087,48 +1303,17 @@ class ServingEngine:
         ``(base cost, extra-cost mean)``; only the jitter sample on the
         extra cost runs per iteration, drawn from the same rng stream at
         the same points as the uncached path, so runs are bit-identical
-        either way.
+        either way.  Each phase executor contributes its slice of the
+        signature and its adapter-token share, in prefill-then-decode
+        order (the dict insertion order the signature keys on).
         """
-        prefills = [r for r in batch if not r.prefilled]
-        decodes = [r for r in batch if r.prefilled]
         adapter_tokens: Dict[str, int] = {}
-
-        launches: tuple = ()
-        if prefills:
-            effective = [
-                max(r.context_len - self._reused_tokens.get(r.request_id, 0), 1)
-                for r in prefills
-            ]
-            if self.config.batch_prefills:
-                num_images = sum(r.num_images for r in prefills)
-                launches = ((tuple(effective), num_images),)
-            else:
-                launches = tuple(
-                    ((tok,), r.num_images)
-                    for r, tok in zip(prefills, effective)
-                )
-            for r, tok in zip(prefills, effective):
-                adapter_tokens[r.adapter_id] = (
-                    adapter_tokens.get(r.adapter_id, 0) + tok
-                )
-
-        num_decodes = 0
-        total_context = 0
-        lm = False
-        head_classes = 0
-        if decodes:
-            num_decodes = len(decodes)
-            for r in decodes:
-                total_context += r.context_len
-                if r.use_task_head:
-                    classes = self._task_classes_of(r.adapter_id)
-                    if classes > head_classes:
-                        head_classes = classes
-                else:
-                    lm = True
-                adapter_tokens[r.adapter_id] = (
-                    adapter_tokens.get(r.adapter_id, 0) + 1
-                )
+        fields: Dict[str, object] = {}
+        for executor in self.phase_executors:
+            requests = executor.select(batch)
+            plan = executor.plan(requests)
+            fields.update(executor.signature_fields(requests, plan))
+            executor.accumulate_tokens(requests, plan, adapter_tokens)
 
         groups = tuple(adapter_tokens.items())
         ranks = tuple(
@@ -1140,13 +1325,9 @@ class ServingEngine:
         sig = BatchSignature(
             mode=mode,
             merged_adapter=merged,
-            prefill_launches=launches,
-            num_decodes=num_decodes,
-            decode_context_total=total_context,
-            lm_head=lm,
-            task_head_classes=head_classes,
             adapter_groups=groups,
             adapter_ranks=ranks,
+            **fields,
         )
         base, extra_mean = self.cost_cache.lookup(sig)
         if not adapter_tokens:
@@ -1158,44 +1339,18 @@ class ServingEngine:
     def _execute_uncached(self, batch: Sequence[Request],
                           mode: InferenceMode,
                           merged: Optional[str]) -> float:
-        """Reference path: re-derive every cost through the model tower."""
-        prefills = [r for r in batch if not r.prefilled]
-        decodes = [r for r in batch if r.prefilled]
+        """Reference path: re-derive every cost through the model tower.
+
+        Phase costs add in prefill-then-decode order — the same float
+        evaluation order as the pre-refactor monolithic loop.
+        """
         t = 0.0
         adapter_tokens: Dict[str, int] = {}
-
-        if prefills:
-            effective = [
-                max(r.context_len - self._reused_tokens.get(r.request_id, 0), 1)
-                for r in prefills
-            ]
-            num_images = sum(r.num_images for r in prefills)
-            if self.config.batch_prefills:
-                t += self.iter_costs.prefill_seconds(effective, num_images)
-            else:
-                # Per-request prefill: each pays its own iteration.
-                for r, tok in zip(prefills, effective):
-                    t += self.iter_costs.prefill_seconds([tok], r.num_images)
-            for r, tok in zip(prefills, effective):
-                adapter_tokens[r.adapter_id] = (
-                    adapter_tokens.get(r.adapter_id, 0) + tok
-                )
-
-        if decodes:
-            contexts = [r.context_len for r in decodes]
-            lm = any(not r.use_task_head for r in decodes)
-            head_classes = max(
-                (self.adapters.spec(r.adapter_id).task_head_classes or 101
-                 for r in decodes if r.use_task_head),
-                default=0,
-            )
-            t += self.iter_costs.decode_seconds(
-                contexts, lm_head=lm, task_head_classes=head_classes
-            )
-            for r in decodes:
-                adapter_tokens[r.adapter_id] = (
-                    adapter_tokens.get(r.adapter_id, 0) + 1
-                )
+        for executor in self.phase_executors:
+            requests = executor.select(batch)
+            plan = executor.plan(requests)
+            t += executor.cost_seconds(requests, plan)
+            executor.accumulate_tokens(requests, plan, adapter_tokens)
 
         if adapter_tokens:
             ranks = {
@@ -1219,20 +1374,19 @@ class ServingEngine:
         # instead of holding its batch slot and KV for the full decode.
         cap = self._brownout.decode_cap if self._brownout is not None else None
         finished: List[Request] = []
+        handoffs: List[Request] = []
         for r in batch:
-            if not r.prefilled:
-                r.prefilled = True
-                r.status = RequestStatus.RUNNING
-            self.kv.append_token(r.request_id)
-            r.generated += 1
-            if r.first_token_time is None:
-                r.first_token_time = now
+            executor = self.decode_exec if r.prefilled else self.prefill_exec
+            executor.advance(r)
             if r.is_finished or (cap is not None and r.generated >= cap):
                 if not r.is_finished:
                     self.metrics.brownout_truncations += 1
                 r.finish_time = now
                 r.status = RequestStatus.FINISHED
                 finished.append(r)
+            elif (self.handoff_after_prefill
+                    and executor is self.prefill_exec):
+                handoffs.append(r)
         for r in finished:
             self.kv.free(r.request_id)
             self._reused_tokens.pop(r.request_id, None)
@@ -1244,3 +1398,12 @@ class ServingEngine:
                 ))
             else:
                 self.metrics.complete(r)
+        for r in handoffs:
+            # Disaggregated prefill pool: the request's KV leaves with
+            # it over the wire.  The local copy is released here; the
+            # cluster's transfer pass prices the move and re-homes the
+            # request on a decode replica.
+            self.kv.free(r.request_id)
+            self._reused_tokens.pop(r.request_id, None)
+            self._drop_active(r)
+            self.handoff_outbox.append(r)

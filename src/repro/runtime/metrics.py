@@ -257,6 +257,16 @@ class MetricsCollector:
     placement_demotions: int = 0
     #: Hot adapters prefetched onto freshly spawned replicas at warm-up.
     adapters_prefetched: int = 0
+    # -- disaggregated prefill/decode serving (runtime/disagg.py) ----------
+    #: Finished prefills handed off to a decode-pool replica.
+    kv_transfers: int = 0
+    #: Total modeled wire time of those KV moves (charged like swap-ins).
+    kv_transfer_seconds: float = 0.0
+    #: Total KV bytes moved across the pool boundary.
+    kv_transfer_bytes: int = 0
+    #: Hand-offs abandoned because the decode pool was permanently gone
+    #: (the requests abort — there is nowhere left to decode).
+    kv_transfer_aborts: int = 0
 
     def complete(self, req: Request) -> None:
         self.records.append(RequestRecord.from_request(req))
@@ -451,6 +461,10 @@ class MetricsCollector:
         self.placement_replications += other.placement_replications
         self.placement_demotions += other.placement_demotions
         self.adapters_prefetched += other.adapters_prefetched
+        self.kv_transfers += other.kv_transfers
+        self.kv_transfer_seconds += other.kv_transfer_seconds
+        self.kv_transfer_bytes += other.kv_transfer_bytes
+        self.kv_transfer_aborts += other.kv_transfer_aborts
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for bench JSON dumps).
@@ -495,7 +509,9 @@ class MetricsCollector:
                     "partition_heals", "hedges_fired", "hedge_wins",
                     "hedge_losses", "retry_budget_exhausted",
                     "placement_spills", "placement_replications",
-                    "placement_demotions", "adapters_prefetched"):
+                    "placement_demotions", "adapters_prefetched",
+                    "kv_transfers", "kv_transfer_seconds",
+                    "kv_transfer_bytes", "kv_transfer_aborts"):
             value = getattr(self, key)
             if value:
                 out[key] = float(value)

@@ -38,6 +38,17 @@ class InferenceMode(enum.Enum):
     MIXTURE = "mixture"
 
 
+#: Disaggregated-pool mode preferences (:mod:`repro.runtime.disagg`):
+#: a prefill pool runs MERGED — prefill is one base-model-speed GEMM
+#: burst per adapter — while a decode pool must multiplex many adapters
+#: per batch, so it prefers UNMERGED (with MIXTURE/deLoRA as the other
+#: acceptable multiplexing mode).
+POOL_MODE_PREFERENCE = {
+    "prefill": InferenceMode.MERGED,
+    "decode": InferenceMode.UNMERGED,
+}
+
+
 def delora_output(
     x: np.ndarray,
     w_base: np.ndarray,

@@ -23,7 +23,7 @@ from repro.runtime.request import Request
 _FIELDS = (
     "arrival_time", "adapter_id", "input_tokens", "output_tokens",
     "task_name", "num_images", "use_task_head", "prefix_key",
-    "prefix_tokens", "slo_s",
+    "prefix_tokens", "slo_s", "priority",
 )
 
 

@@ -423,6 +423,185 @@ def test_locality_autoscaled_exactly_once_under_chaos(requests, seed):
     assert metrics.replicas_spawned == len(server.replicas) - 1
 
 
+# -- disaggregated prefill/decode serving (docs/DISAGGREGATION.md) ------------
+
+
+def _disagg_cluster(faults=(), prefill=1, decode=1, **kwargs):
+    from repro.runtime import DisaggConfig
+
+    injector = FaultInjector(list(faults)) if faults else None
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        deadline_slo_factor=4.0, fault_injector=injector,
+    )
+    disagg = DisaggConfig(prefill_replicas=prefill, decode_replicas=decode)
+    return MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), prefill + decode,
+        disagg=disagg, **kwargs,
+    )
+
+
+@pytest.mark.parametrize("menu", sorted(FAULT_MENUS))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces())
+def test_disagg_cluster_exactly_once(menu, requests):
+    """Exactly-once must survive the pool boundary under every fault
+    menu — gpu-0 is the prefill pool and gpu-1 the decode pool, so
+    ``one-dead`` kills the decode side (transferred requests rewind and
+    re-prefill) and ``all-dead`` forces the abort path."""
+    reset_request_ids()
+    server = _disagg_cluster(FAULT_MENUS[menu], max_requeues=4)
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert server._undispatched == []
+    for rep in server.replicas:
+        assert rep.engine.handoff_outbox == []
+        assert rep.engine.num_live == 0 or rep.engine.failed
+
+
+def test_disagg_prefill_death_mid_transfer_exactly_once():
+    """The prefill replica dies with hand-offs still in its outbox: its
+    KV died with it, so the outbox rewinds through failover — and with
+    no prefill pool left and nothing to spawn, the survivors abort the
+    rest.  Exactly one terminal either way."""
+    faults = (
+        FaultSpec(FaultKind.ENGINE_FAIL, start=0.15, target="gpu-0"),
+    )
+    reset_request_ids()
+    server = _disagg_cluster(faults, max_requeues=4)
+    # Staggered arrivals keep the prefill replica busy past its death
+    # time, so it dies with finished prefills still in its outbox
+    # (transfers only leave at epoch boundaries).
+    requests = [
+        Request(adapter_id=ADAPTER_IDS[i % len(ADAPTER_IDS)],
+                arrival_time=i * 0.04, input_tokens=64,
+                output_tokens=64, use_task_head=False)
+        for i in range(10)
+    ]
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    # The death actually happened, with the outbox rewound through
+    # failover; with no prefill pool left and nothing to spawn, the
+    # survivors aborted whatever could no longer prefill.
+    assert metrics.engine_failures >= 1
+    assert metrics.num_aborted >= 1
+    assert server._undispatched == []
+
+
+def test_disagg_decode_death_mid_transfer_rehomes_exactly_once():
+    """The decode replica dies while transferred requests are in flight
+    toward it (and resident on it): they rewind to un-prefilled, rejoin
+    the queue, and — with no decode pool left — run to completion on the
+    prefill replica's local decode path, exactly once."""
+    faults = (
+        FaultSpec(FaultKind.ENGINE_FAIL, start=0.2, target="gpu-1"),
+    )
+    reset_request_ids()
+    server = _disagg_cluster(faults, max_requeues=4)
+    requests = _long_requests(10, output_tokens=64)
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert server._undispatched == []
+    # The boundary was actually exercised before the death.
+    assert server.cluster_metrics.kv_transfers >= 1
+
+
+def test_disagg_partition_during_handoff_waits_for_heal():
+    """A partitioned prefill replica's outbox must *wait* — the KV is
+    intact, the pool just cannot reach it — and deliver on heal, never
+    duplicating the hand-off."""
+    faults = (
+        FaultSpec(FaultKind.NETWORK_PARTITION, start=0.0, duration=1.5,
+                  target="gpu-0"),
+    )
+    reset_request_ids()
+    detector = FailureDetector(FailureDetectorConfig(
+        phi_suspect=1e6, phi_confirm=1e7))
+    server = _disagg_cluster(faults, detector=detector, max_requeues=4)
+    requests = _long_requests(8, output_tokens=32)
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert metrics.num_aborted == 0, "heal should rescue every hand-off"
+    assert server.cluster_metrics.kv_transfers >= 1
+    for rep in server.replicas:
+        assert rep.engine.handoff_outbox == []
+
+
+def test_disagg_hedged_twin_racing_transfer_exactly_once():
+    """A hedge fired while the original crosses the pool boundary: the
+    twin re-enters through the prefill pool, both copies race through
+    prefill -> transfer -> decode, and exactly one terminal survives."""
+    from repro.runtime import HedgeConfig, TimeoutPolicy
+
+    faults = (
+        FaultSpec(FaultKind.ENGINE_SLOW, start=0.0, duration=10.0,
+                  magnitude=8.0, target="gpu-1"),
+    )
+    reset_request_ids()
+    server = _disagg_cluster(
+        faults, prefill=1, decode=2,
+        hedge=HedgeConfig(min_observations=4, window=32),
+        timeout_policy=TimeoutPolicy(hedge_after_s=0.2),
+    )
+    requests = [
+        Request(adapter_id=ADAPTER_IDS[i % len(ADAPTER_IDS)],
+                arrival_time=i * 0.01, input_tokens=64, output_tokens=12)
+        for i in range(16)
+    ]
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert metrics.hedges_fired >= 1, "no hedge fired at the straggler"
+    assert metrics.hedge_losses == metrics.hedges_fired
+    assert server.cluster_metrics.kv_transfers >= len(requests)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(requests=traces(), seed=st.integers(0, 31))
+def test_disagg_autoscaled_exactly_once_under_chaos(requests, seed):
+    """Per-pool autoscaling (queue-depth prefill, KV-residency decode)
+    plus randomized faults: lifecycle churn on either side of the
+    boundary must never lose or duplicate a request."""
+    from repro.runtime import DisaggConfig
+
+    reset_request_ids()
+    injector = FaultInjector.random(
+        horizon_s=20.0, seed=seed, adapter_ids=ADAPTER_IDS,
+        engine_ids=("gpu-0", "gpu-1", "gpu-2"),
+        swap_fail_rate=0.3, engine_slow_rate=0.2,
+        engine_fail_rate=0.05, scale_stall_rate=0.2,
+    )
+    builder = SystemBuilder(
+        num_adapters=len(ADAPTER_IDS), max_batch_size=8,
+        deadline_slo_factor=4.0, fault_injector=injector,
+    )
+    scale = AutoscaleConfig(
+        min_replicas=1, max_replicas=2, interval_s=0.25,
+        target_queue_per_replica=2.0, down_fraction=0.7,
+        up_cooldown_s=0.25, down_cooldown_s=0.5,
+        spinup_s=0.1, drain_timeout_s=2.0,
+    )
+    import dataclasses as _dc
+    disagg = DisaggConfig(
+        prefill_replicas=1, decode_replicas=1,
+        prefill_autoscale=scale,
+        decode_autoscale=_dc.replace(scale, target_utilization=0.6),
+    )
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 2, disagg=disagg,
+    )
+    server.submit(requests)
+    metrics = server.run()
+    assert_exactly_once_terminal(requests, metrics)
+    assert server._undispatched == []
+
+
 def test_drain_rehoming_never_spends_retry_budget():
     """Voluntary scale-down churn is not a retry: drain re-homes must
     neither charge the failover budget nor buy retry-budget tokens."""

@@ -154,12 +154,30 @@ def _run_partition_chaos(seed):
     return _fingerprint(server.run())
 
 
+def _run_disagg(seed):
+    """Disaggregated prefill/decode pools with a priced KV hand-off.
+
+    Pins the transfer pass end to end: outbox drain order, target
+    choice by KV headroom, wire-cost floats from the memoized transfer
+    cache, and the not-before admission floor on the decode side."""
+    from repro.runtime import DisaggConfig
+
+    builder = SystemBuilder(num_adapters=4, max_batch_size=8)
+    server = MultiGPUServer.replicate(
+        lambda: builder.build("v-lora"), 3,
+        disagg=DisaggConfig(prefill_replicas=1, decode_replicas=2),
+    )
+    server.submit(_retrieval(seed, rate_rps=20.0, duration_s=3.0))
+    return _fingerprint(server.run())
+
+
 SCENARIOS = {
     "engine": _run_engine,
     "cluster": _run_cluster,
     "chaos": _run_chaos,
     "autoscaled": _run_autoscaled,
     "partition_chaos": _run_partition_chaos,
+    "disagg": _run_disagg,
 }
 
 

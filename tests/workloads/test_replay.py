@@ -20,7 +20,7 @@ def sample_requests():
                 prefix_key="img-1", prefix_tokens=64),
         Request(adapter_id="lora-1", arrival_time=0.1, input_tokens=200,
                 output_tokens=1, task_name="object_detection",
-                use_task_head=True, slo_s=1.0),
+                use_task_head=True, slo_s=1.0, priority=2),
     ]
 
 
@@ -31,7 +31,7 @@ class TestRoundtrip:
         for name in ("arrival_time", "adapter_id", "input_tokens",
                      "output_tokens", "task_name", "num_images",
                      "use_task_head", "prefix_key", "prefix_tokens",
-                     "slo_s"):
+                     "slo_s", "priority"):
             assert getattr(clone, name) == getattr(req, name), name
         # Fresh identity and progress state.
         assert clone.request_id != req.request_id
@@ -77,6 +77,38 @@ class TestRoundtrip:
             return engine.run().avg_token_latency()
 
         assert run() == pytest.approx(run())
+
+
+class TestPriority:
+    """Priority classes must survive the trace round trip (regression:
+    ``_FIELDS`` used to omit ``priority``, silently flattening every
+    replayed trace to PRIORITY_NORMAL and bypassing per-priority
+    admission / retry-budget / hedging behavior)."""
+
+    def test_priority_survives_roundtrip(self, tmp_path):
+        from repro.runtime.request import (
+            PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL)
+        reqs = [
+            Request(adapter_id="lora-0", arrival_time=0.0, input_tokens=8,
+                    output_tokens=2, priority=p)
+            for p in (PRIORITY_LOW, PRIORITY_NORMAL, PRIORITY_HIGH)
+        ]
+        path = tmp_path / "prio.jsonl"
+        save_trace(path, reqs)
+        loaded = load_trace(path)
+        assert sorted(r.priority for r in loaded) == sorted(
+            r.priority for r in reqs)
+
+    def test_record_includes_priority(self):
+        rec = request_to_record(sample_requests()[1])
+        assert rec["priority"] == 2
+
+    def test_old_trace_without_priority_loads_with_default(self):
+        """Traces written before the field existed still load."""
+        from repro.runtime.request import PRIORITY_NORMAL
+        clone = record_to_request({"arrival_time": 0.2, "adapter_id": "a",
+                                   "input_tokens": 4, "output_tokens": 1})
+        assert clone.priority == PRIORITY_NORMAL
 
 
 class TestValidation:
